@@ -1,0 +1,617 @@
+package bufir
+
+import (
+	"fmt"
+	"strings"
+
+	"bufir/internal/buffer"
+	"bufir/internal/codec"
+	"bufir/internal/corpus"
+	"bufir/internal/docindex"
+	"bufir/internal/eval"
+	"bufir/internal/indexfile"
+	"bufir/internal/metrics"
+	"bufir/internal/positional"
+	"bufir/internal/postings"
+	"bufir/internal/rank"
+	"bufir/internal/refine"
+	"bufir/internal/storage"
+	"bufir/internal/textproc"
+)
+
+// Core identifier and data types, shared with the internal engine.
+type (
+	// DocID identifies a document.
+	DocID = postings.DocID
+	// TermID identifies an indexed term.
+	TermID = postings.TermID
+	// Entry is one (document, frequency) posting.
+	Entry = postings.Entry
+	// TermPostings is a raw inverted list (term name + entries).
+	TermPostings = postings.TermPostings
+	// ScoredDoc is a ranked result document.
+	ScoredDoc = rank.ScoredDoc
+	// QueryTerm is one query term with its query frequency f_qt.
+	QueryTerm = eval.QueryTerm
+	// Query is a bag of query terms (natural-language query model).
+	Query = eval.Query
+	// Algorithm selects the evaluation strategy (DF or BAF).
+	Algorithm = eval.Algorithm
+	// Result carries the ranked answer and execution statistics of one
+	// query evaluation.
+	Result = eval.Result
+	// TermTrace is the per-term execution detail inside a Result.
+	TermTrace = eval.TermTrace
+	// Topic is a synthetic topic: query terms plus relevance judgments.
+	Topic = corpus.Topic
+	// CollectionConfig parameterizes synthetic collection generation.
+	CollectionConfig = corpus.Config
+	// Collection is a generated synthetic collection.
+	Collection = corpus.Collection
+	// RankedTerm is a query term with its measured score contribution.
+	RankedTerm = refine.RankedTerm
+	// RefinementSequence is a derived query-refinement workload.
+	RefinementSequence = refine.Sequence
+	// RefinementKind selects ADD-ONLY or ADD-DROP.
+	RefinementKind = refine.Kind
+	// RelevanceSet is a set of relevant documents for effectiveness
+	// metrics.
+	RelevanceSet = metrics.RelevanceSet
+	// BufferStats are buffer-pool hit/miss/eviction counters.
+	BufferStats = buffer.Stats
+	// Document is a raw text document for IndexDocuments.
+	Document = docindex.Document
+	// CompressionStats reports compressed-index storage statistics.
+	CompressionStats = codec.Stats
+	// FeedbackOptions tunes relevance-feedback sequence construction.
+	FeedbackOptions = refine.FeedbackOptions
+)
+
+// Evaluation algorithms.
+const (
+	// DF is Persin's Document Filtering (decreasing-idf term order).
+	DF = eval.DF
+	// BAF is the paper's Buffer-Aware Filtering (fewest estimated
+	// disk reads first).
+	BAF = eval.BAF
+)
+
+// Policy names a buffer replacement policy.
+type Policy string
+
+// Replacement policies.
+const (
+	// LRU evicts the least recently used page (the file-system
+	// default the paper argues against for refinement workloads).
+	LRU Policy = "LRU"
+	// MRU evicts the most recently used page.
+	MRU Policy = "MRU"
+	// RAP is the paper's Ranking-Aware Policy.
+	RAP Policy = "RAP"
+)
+
+// Refinement workload kinds.
+const (
+	// AddOnly adds three terms per refinement.
+	AddOnly = refine.AddOnly
+	// AddDrop also drops the weakest term of the previous group.
+	AddDrop = refine.AddDrop
+)
+
+// DefaultCollectionConfig returns the laptop-scale synthetic
+// collection configuration (40k documents) used by the benchmark
+// harness.
+func DefaultCollectionConfig(seed int64) CollectionConfig {
+	return corpus.DefaultConfig(seed)
+}
+
+// TinyCollectionConfig returns a unit-test-scale configuration that
+// generates in milliseconds.
+func TinyCollectionConfig(seed int64) CollectionConfig {
+	return corpus.TinyConfig(seed)
+}
+
+// PaperCollectionConfig returns the full WSJ-scale configuration
+// (173,252 documents, 167,017 terms) matching the paper's Table 4.
+func PaperCollectionConfig(seed int64) CollectionConfig {
+	return corpus.PaperConfig(seed)
+}
+
+// GenerateCollection builds a synthetic collection with topics and
+// relevance judgments; deterministic in cfg.Seed.
+func GenerateCollection(cfg CollectionConfig) (*Collection, error) {
+	return corpus.Generate(cfg)
+}
+
+// Index is a frequency-sorted paged inverted index over a simulated
+// disk. Create Sessions on it to run queries.
+type Index struct {
+	ix    *postings.Index
+	store storage.PageSource
+	conv  *postings.ConversionTable
+	// pages holds the raw page payloads (shared with the store for
+	// the uncompressed representation) so the index can be persisted.
+	pages [][]postings.Entry
+	// docNames is non-nil for document-built indexes.
+	docNames []string
+	// stopWords is the applied stop-word list for document-built
+	// indexes (persisted so reloaded indexes parse queries the same).
+	stopWords []string
+	// pipe is non-nil for document-built indexes and processes query
+	// text identically to document text.
+	pipe *textproc.Pipeline
+	// positional is non-nil when the index was built with
+	// IndexOptions.Positional.
+	positional *positional.Index
+}
+
+// NewIndex builds the inverted index of a generated collection.
+func NewIndex(col *Collection) (*Index, error) {
+	ix, pages, err := postings.Build(col.Lists, col.NumDocs, col.Cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{
+		ix:    ix,
+		store: storage.NewStore(pages),
+		conv:  postings.NewConversionTable(ix, postings.DefaultMaxKey),
+		pages: pages,
+	}, nil
+}
+
+// NewCompressedIndex builds the index with its pages held in the
+// compressed [PZSD96] format (the paper's physical design, §4.2):
+// pages are decompressed on every buffer miss, and CompressionStats
+// reports the achieved ratio. Query results are identical to an
+// uncompressed index.
+func NewCompressedIndex(col *Collection) (*Index, error) {
+	ix, pages, err := postings.Build(col.Lists, col.NumDocs, col.Cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := storage.NewCompressedStore(pages)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{
+		ix:    ix,
+		store: cs,
+		conv:  postings.NewConversionTable(ix, postings.DefaultMaxKey),
+		pages: pages,
+	}, nil
+}
+
+// CompressionStats reports the store's compression statistics, or
+// (zero, false) for an uncompressed index.
+func (ix *Index) CompressionStats() (CompressionStats, bool) {
+	if cs, ok := ix.store.(*storage.CompressedStore); ok {
+		return cs.CompressionStats(), true
+	}
+	return CompressionStats{}, false
+}
+
+// IndexOptions controls IndexDocuments.
+type IndexOptions struct {
+	// PageSize is the page capacity in entries (0 = the paper's 404).
+	PageSize int
+	// NumStopWords is how many of the most frequent raw terms to drop
+	// (0 = the paper's 100; negative disables stop-word removal).
+	NumStopWords int
+	// Positional also builds a positional index, enabling quoted
+	// phrases in SearchText and the Phrase/Near proximity operators —
+	// the future-work operators of the paper's §2.1 footnote 2.
+	Positional bool
+}
+
+// IndexDocuments builds an index from raw documents through the full
+// lexical pipeline (tokenization, stop-word removal, Porter stemming).
+func IndexDocuments(docs []Document, opts IndexOptions) (*Index, error) {
+	res, err := docindex.Build(docs, docindex.Options{
+		PageSize:     opts.PageSize,
+		NumStopWords: opts.NumStopWords,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Index{
+		ix:        res.Index,
+		store:     storage.NewStore(res.Pages),
+		conv:      postings.NewConversionTable(res.Index, postings.DefaultMaxKey),
+		pages:     res.Pages,
+		docNames:  res.DocNames,
+		stopWords: res.StopWords,
+		pipe:      res.Pipeline,
+	}
+	if opts.Positional {
+		texts := make([]string, len(docs))
+		for i, d := range docs {
+			texts[i] = d.Text
+		}
+		pos, err := positional.Build(texts, res.Pipeline)
+		if err != nil {
+			return nil, err
+		}
+		out.positional = pos
+	}
+	return out, nil
+}
+
+// PhraseDocs returns the documents containing the exact phrase
+// (consecutive terms after the lexical pipeline). Requires an index
+// built with IndexOptions.Positional.
+func (ix *Index) PhraseDocs(terms []string) ([]DocID, error) {
+	if ix.positional == nil {
+		return nil, fmt.Errorf("bufir: index was built without positional data")
+	}
+	return ix.positional.Phrase(terms)
+}
+
+// NearDocs returns the documents where occurrences of a and b lie
+// within k positions of each other. Requires IndexOptions.Positional.
+func (ix *Index) NearDocs(a, b string, k int) ([]DocID, error) {
+	if ix.positional == nil {
+		return nil, fmt.Errorf("bufir: index was built without positional data")
+	}
+	return ix.positional.Near(a, b, k)
+}
+
+// Save persists the index to a single file: metadata plus pages in
+// the compressed on-disk format, protected by a checksum. Document
+// names and the stop-word list of document-built indexes are included
+// so OpenIndex restores text-query support.
+func (ix *Index) Save(path string) error {
+	var aux *indexfile.Aux
+	if ix.docNames != nil || ix.stopWords != nil {
+		aux = &indexfile.Aux{DocNames: ix.docNames, StopWords: ix.stopWords}
+	}
+	return indexfile.SaveFile(path, ix.ix, ix.pages, aux)
+}
+
+// OpenIndex loads an index persisted by Save. Queries over the loaded
+// index are identical to the original's.
+func OpenIndex(path string) (*Index, error) {
+	pix, pages, aux, err := indexfile.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := &Index{
+		ix:    pix,
+		store: storage.NewStore(pages),
+		conv:  postings.NewConversionTable(pix, postings.DefaultMaxKey),
+		pages: pages,
+	}
+	if aux != nil {
+		out.docNames = aux.DocNames
+		out.stopWords = aux.StopWords
+		if aux.DocNames != nil || aux.StopWords != nil {
+			out.pipe = textproc.NewPipeline(aux.StopWords)
+		}
+	}
+	return out, nil
+}
+
+// NumDocs returns the collection size N.
+func (ix *Index) NumDocs() int { return ix.ix.NumDocs }
+
+// NumTerms returns the vocabulary size.
+func (ix *Index) NumTerms() int { return len(ix.ix.Terms) }
+
+// NumPages returns the total number of inverted-list pages.
+func (ix *Index) NumPages() int { return ix.ix.NumPagesTotal }
+
+// PageSize returns the page capacity in entries.
+func (ix *Index) PageSize() int { return ix.ix.PageSize }
+
+// DiskReads returns the cumulative page reads issued to the simulated
+// disk across all sessions of this index.
+func (ix *Index) DiskReads() int64 { return ix.store.Reads() }
+
+// ResetDiskReads zeroes the disk-read counter.
+func (ix *Index) ResetDiskReads() { ix.store.ResetReads() }
+
+// LookupTerm resolves a term string (already stemmed for generated
+// collections; raw terms are resolved through the pipeline for
+// document-built indexes).
+func (ix *Index) LookupTerm(term string) (TermID, bool) {
+	if id, ok := ix.ix.LookupTerm(term); ok {
+		return id, true
+	}
+	if ix.pipe != nil {
+		if ts := ix.pipe.Terms(term); len(ts) == 1 {
+			return ix.ix.LookupTerm(ts[0])
+		}
+	}
+	return 0, false
+}
+
+// TermName returns the indexed name of a term.
+func (ix *Index) TermName(t TermID) string { return ix.ix.Terms[t].Name }
+
+// TermIDF returns idf_t = log2(N/f_t).
+func (ix *Index) TermIDF(t TermID) float64 { return ix.ix.IDF(t) }
+
+// TermPages returns the length of term t's inverted list in pages.
+func (ix *Index) TermPages(t TermID) int { return ix.ix.Terms[t].NumPages }
+
+// DocName returns the external name of a document for document-built
+// indexes, or a synthetic "doc<N>" name otherwise.
+func (ix *Index) DocName(d DocID) string {
+	if ix.docNames != nil && int(d) < len(ix.docNames) {
+		return ix.docNames[d]
+	}
+	return fmt.Sprintf("doc%d", d)
+}
+
+// TopicQuery resolves a topic's terms into a Query.
+func (ix *Index) TopicQuery(t Topic) (Query, error) {
+	return refine.QueryFromTopic(ix.ix, t)
+}
+
+// ParseQuery turns free text into a Query using the index's lexical
+// pipeline (document-built indexes only): terms are tokenized,
+// stop-words dropped, stemmed, and repeated terms get proportionally
+// higher query frequencies. Unknown terms are skipped.
+func (ix *Index) ParseQuery(text string) (Query, error) {
+	if ix.pipe == nil {
+		return nil, fmt.Errorf("bufir: ParseQuery requires a document-built index; use TopicQuery or explicit QueryTerms")
+	}
+	var q Query
+	for term, f := range ix.pipe.CountTerms(text) {
+		if id, ok := ix.ix.LookupTerm(term); ok {
+			q = append(q, QueryTerm{Term: id, Fqt: f})
+		}
+	}
+	if len(q) == 0 {
+		return nil, fmt.Errorf("bufir: no indexed terms in query %q", text)
+	}
+	// Deterministic order (evaluation order is decided by the
+	// algorithm anyway).
+	sortQuery(q)
+	return q, nil
+}
+
+func sortQuery(q Query) {
+	for i := 1; i < len(q); i++ {
+		for j := i; j > 0 && q[j].Term < q[j-1].Term; j-- {
+			q[j], q[j-1] = q[j-1], q[j]
+		}
+	}
+}
+
+// SessionConfig configures a search Session.
+type SessionConfig struct {
+	// Algorithm is DF or BAF (default DF).
+	Algorithm Algorithm
+	// Policy is the buffer replacement policy (default LRU).
+	Policy Policy
+	// BufferPages is the buffer pool size in pages (default 128).
+	BufferPages int
+	// CAdd and CIns are the filtering constants; both zero selects the
+	// paper's tuning (0.002 / 0.07). Set Unfiltered to run exhaustive
+	// evaluation instead.
+	CAdd, CIns float64
+	// Unfiltered disables the unsafe optimization entirely (safe,
+	// exhaustive evaluation).
+	Unfiltered bool
+	// TopN is the result size n (default 20).
+	TopN int
+	// ForceFirstPage guarantees at least one page of every query term
+	// is processed (the paper's fix for ignored refinement terms).
+	ForceFirstPage bool
+}
+
+// Session is a search session: an Index plus a private buffer pool.
+// Sessions are not safe for concurrent use; create one per user.
+type Session struct {
+	ix   *Index
+	ev   *eval.Evaluator
+	mgr  *buffer.Manager
+	algo Algorithm
+}
+
+// NewSession creates a session over the index.
+func (ix *Index) NewSession(cfg SessionConfig) (*Session, error) {
+	if cfg.BufferPages == 0 {
+		cfg.BufferPages = 128
+	}
+	if cfg.TopN == 0 {
+		cfg.TopN = 20
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = LRU
+	}
+	var pol buffer.Policy
+	switch cfg.Policy {
+	case LRU:
+		pol = buffer.NewLRU()
+	case MRU:
+		pol = buffer.NewMRU()
+	case RAP:
+		pol = buffer.NewRAP()
+	default:
+		return nil, fmt.Errorf("bufir: unknown policy %q", cfg.Policy)
+	}
+	params := eval.Params{
+		CAdd:           cfg.CAdd,
+		CIns:           cfg.CIns,
+		TopN:           cfg.TopN,
+		ForceFirstPage: cfg.ForceFirstPage,
+	}
+	if !cfg.Unfiltered && params.CAdd == 0 && params.CIns == 0 {
+		pp := eval.PaperParams()
+		params.CAdd, params.CIns = pp.CAdd, pp.CIns
+	}
+	mgr, err := buffer.NewManager(cfg.BufferPages, ix.store, ix.ix, pol)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := eval.NewEvaluator(ix.ix, mgr, ix.conv, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{ix: ix, ev: ev, mgr: mgr, algo: cfg.Algorithm}, nil
+}
+
+// Search evaluates a query and returns the ranked answer with
+// execution statistics.
+func (s *Session) Search(q Query) (*Result, error) {
+	return s.ev.Evaluate(s.algo, q)
+}
+
+// SearchText parses free text through the index's pipeline and
+// evaluates it (document-built indexes only). Double-quoted segments
+// are phrase constraints when the index carries positional data: the
+// ranked answer is filtered to documents containing every quoted
+// phrase exactly.
+func (s *Session) SearchText(text string) (*Result, error) {
+	phrases, stripped := extractPhrases(text)
+	q, err := s.ix.ParseQuery(stripped)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Search(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(phrases) == 0 {
+		return res, nil
+	}
+	if s.ix.positional == nil {
+		return nil, fmt.Errorf("bufir: phrase query needs an index built with IndexOptions.Positional")
+	}
+	allowed, err := s.ix.phraseFilter(phrases)
+	if err != nil {
+		return nil, err
+	}
+	filtered := res.Top[:0:0]
+	for _, sd := range res.Top {
+		if allowed[sd.Doc] {
+			filtered = append(filtered, sd)
+		}
+	}
+	res.Top = filtered
+	return res, nil
+}
+
+// extractPhrases splits double-quoted phrases out of a query string,
+// returning the phrases and the text with quotes removed (the quoted
+// words still participate in ranking).
+func extractPhrases(text string) (phrases [][]string, stripped string) {
+	var b strings.Builder
+	for {
+		open := strings.IndexByte(text, '"')
+		if open < 0 {
+			break
+		}
+		close := strings.IndexByte(text[open+1:], '"')
+		if close < 0 {
+			break
+		}
+		phrase := text[open+1 : open+1+close]
+		if words := strings.Fields(phrase); len(words) > 0 {
+			phrases = append(phrases, words)
+		}
+		b.WriteString(text[:open])
+		b.WriteByte(' ')
+		b.WriteString(phrase)
+		b.WriteByte(' ')
+		text = text[open+close+2:]
+	}
+	b.WriteString(text)
+	return phrases, b.String()
+}
+
+// phraseFilter returns the set of documents matching every phrase.
+func (ix *Index) phraseFilter(phrases [][]string) (map[DocID]bool, error) {
+	var allowed map[DocID]bool
+	for _, phrase := range phrases {
+		docs, err := ix.positional.Phrase(phrase)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[DocID]bool, len(docs))
+		for _, d := range docs {
+			if allowed == nil || allowed[d] {
+				set[d] = true
+			}
+		}
+		allowed = set
+	}
+	return allowed, nil
+}
+
+// FlushBuffers empties the session's buffer pool.
+func (s *Session) FlushBuffers() { s.mgr.Flush() }
+
+// BufferStats returns the session's hit/miss/eviction counters.
+func (s *Session) BufferStats() BufferStats { return s.mgr.Stats() }
+
+// ResetBufferStats zeroes the counters without touching pool contents.
+func (s *Session) ResetBufferStats() { s.mgr.ResetStats() }
+
+// BufferedPages reports how many pages of term t are currently
+// resident (the b_t quantity BAF consults).
+func (s *Session) BufferedPages(t TermID) int { return s.mgr.ResidentPages(t) }
+
+// RankTermsByContribution orders the query's terms by their average
+// contribution to the cosine score of the current top documents,
+// computed — as in the paper's workload construction — against an
+// unoptimized evaluation of the query. This is the basis for
+// refinement sequences.
+func (ix *Index) RankTermsByContribution(q Query) ([]RankedTerm, error) {
+	ev, err := ix.fullEvaluator()
+	if err != nil {
+		return nil, err
+	}
+	res, err := ev.Evaluate(eval.DF, q)
+	if err != nil {
+		return nil, err
+	}
+	return refine.RankByContribution(ix.ix, ix.store, q, res.Top)
+}
+
+// BuildRefinementSequence derives an ADD-ONLY or ADD-DROP refinement
+// sequence (3 terms per refinement) from a contribution ranking.
+func BuildRefinementSequence(topicID int, kind RefinementKind, ranked []RankedTerm) (*RefinementSequence, error) {
+	return refine.BuildSequence(topicID, kind, ranked, refine.GroupSize)
+}
+
+// BuildFeedbackSequence grows a refinement sequence by relevance
+// feedback (the paper's §7 future work): each round expands the query
+// with the Rocchio-strongest terms of the current answer's top
+// documents, evaluated exhaustively offline.
+func (ix *Index) BuildFeedbackSequence(initial Query, opts FeedbackOptions) (*RefinementSequence, error) {
+	ev, err := ix.fullEvaluator()
+	if err != nil {
+		return nil, err
+	}
+	return refine.FeedbackSequence(ix.ix, ix.store, initial, opts,
+		func(q Query) ([]ScoredDoc, error) {
+			res, err := ev.Evaluate(eval.DF, q)
+			if err != nil {
+				return nil, err
+			}
+			return res.Top, nil
+		})
+}
+
+// fullEvaluator builds a throwaway exhaustive evaluator with ample
+// buffers for offline computations.
+func (ix *Index) fullEvaluator() (*eval.Evaluator, error) {
+	mgr, err := buffer.NewManager(ix.ix.NumPagesTotal+1, ix.store, ix.ix, buffer.NewLRU())
+	if err != nil {
+		return nil, err
+	}
+	return eval.NewEvaluator(ix.ix, mgr, ix.conv, eval.Params{TopN: 20})
+}
+
+// AveragePrecision computes non-interpolated average precision of a
+// ranked result against a relevance set.
+func AveragePrecision(top []ScoredDoc, rel RelevanceSet) float64 {
+	return metrics.AveragePrecision(top, rel)
+}
+
+// NewRelevanceSet builds a RelevanceSet from document IDs.
+func NewRelevanceSet(docs []DocID) RelevanceSet {
+	return metrics.NewRelevanceSet(docs)
+}

@@ -1,0 +1,683 @@
+package bufir
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"bufir/internal/corpus"
+)
+
+// testIndex builds a tiny synthetic collection + index shared by the
+// package tests.
+func testIndex(t testing.TB) (*Collection, *Index) {
+	t.Helper()
+	col, err := GenerateCollection(TinyCollectionConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIndex(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col, ix
+}
+
+func TestIndexAccessors(t *testing.T) {
+	col, ix := testIndex(t)
+	if ix.NumDocs() != col.NumDocs {
+		t.Errorf("NumDocs = %d", ix.NumDocs())
+	}
+	if ix.NumTerms() != len(col.Lists) {
+		t.Errorf("NumTerms = %d", ix.NumTerms())
+	}
+	if ix.NumPages() < ix.NumTerms() {
+		t.Errorf("NumPages = %d < NumTerms", ix.NumPages())
+	}
+	if ix.PageSize() != col.Cfg.PageSize {
+		t.Errorf("PageSize = %d", ix.PageSize())
+	}
+	id, ok := ix.LookupTerm(col.Lists[0].Name)
+	if !ok {
+		t.Fatal("LookupTerm failed")
+	}
+	if ix.TermName(id) != col.Lists[0].Name {
+		t.Error("TermName mismatch")
+	}
+	if ix.TermIDF(id) == 0 && len(col.Lists[0].Entries) != col.NumDocs {
+		t.Error("TermIDF zero for non-universal term")
+	}
+	if ix.TermPages(id) < 1 {
+		t.Error("TermPages < 1")
+	}
+	if !strings.HasPrefix(ix.DocName(3), "doc") {
+		t.Errorf("DocName = %q", ix.DocName(3))
+	}
+}
+
+func TestSessionSearch(t *testing.T) {
+	col, ix := testIndex(t)
+	q, err := ix.TopicQuery(col.Topics[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ix.NewSession(SessionConfig{Algorithm: BAF, Policy: RAP, BufferPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Top) == 0 {
+		t.Fatal("no results")
+	}
+	if res.PagesRead == 0 {
+		t.Error("cold search read nothing")
+	}
+	// Warm repeat must read fewer pages.
+	res2, err := s.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PagesRead >= res.PagesRead {
+		t.Errorf("warm search read %d pages, cold read %d", res2.PagesRead, res.PagesRead)
+	}
+	// BAF is an unsafe optimization: its processing order — and hence
+	// its approximate scores — legitimately depend on buffer contents.
+	// The answers must still substantially agree (the paper reports
+	// effectiveness within 5%).
+	cold := make(map[DocID]bool, len(res.Top))
+	for _, sd := range res.Top {
+		cold[sd.Doc] = true
+	}
+	overlap := 0
+	for _, sd := range res2.Top {
+		if cold[sd.Doc] {
+			overlap++
+		}
+	}
+	if overlap*5 < len(res.Top)*4 { // at least 80%
+		t.Errorf("warm/cold top-n overlap %d/%d too low", overlap, len(res.Top))
+	}
+	st := s.BufferStats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	s.ResetBufferStats()
+	if s.BufferStats() != (BufferStats{}) {
+		t.Error("ResetBufferStats failed")
+	}
+	s.FlushBuffers()
+	if got := s.BufferedPages(q[0].Term); got != 0 {
+		t.Errorf("BufferedPages after flush = %d", got)
+	}
+}
+
+// TestDFRankingBufferIndependent: DF's evaluation strategy ignores
+// buffer contents entirely, so warm and cold runs rank identically
+// (the property the paper uses as its stability baseline).
+func TestDFRankingBufferIndependent(t *testing.T) {
+	col, ix := testIndex(t)
+	q, err := ix.TopicQuery(col.Topics[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ix.NewSession(SessionConfig{Algorithm: DF, Policy: LRU, BufferPages: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := s.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := s.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Top) != len(warm.Top) {
+		t.Fatalf("result sizes differ: %d vs %d", len(cold.Top), len(warm.Top))
+	}
+	for i := range cold.Top {
+		if cold.Top[i] != warm.Top[i] {
+			t.Fatalf("DF ranking changed with buffer state at position %d", i)
+		}
+	}
+}
+
+func TestSessionDefaultsAndValidation(t *testing.T) {
+	_, ix := testIndex(t)
+	s, err := ix.NewSession(SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ev.Params.CAdd == 0 || s.ev.Params.CIns == 0 {
+		t.Error("defaults should enable filtering")
+	}
+	if s.ev.Params.TopN != 20 {
+		t.Errorf("default TopN = %d", s.ev.Params.TopN)
+	}
+	if _, err := ix.NewSession(SessionConfig{Policy: "FIFO"}); err == nil {
+		t.Error("unknown policy should fail")
+	}
+	// Unfiltered session runs exhaustive evaluation.
+	su, err := ix.NewSession(SessionConfig{Unfiltered: true, BufferPages: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if su.ev.Params.CAdd != 0 || su.ev.Params.CIns != 0 {
+		t.Error("Unfiltered should zero the constants")
+	}
+}
+
+func TestUnfilteredReadsMore(t *testing.T) {
+	col, ix := testIndex(t)
+	q, err := ix.TopicQuery(col.Topics[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := ix.NewSession(SessionConfig{Unfiltered: true, BufferPages: 4096})
+	filt, _ := ix.NewSession(SessionConfig{BufferPages: 4096})
+	fres, err := full.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := filt.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PagesRead >= fres.PagesRead {
+		t.Errorf("filtered read %d >= unfiltered %d", res.PagesRead, fres.PagesRead)
+	}
+	if res.Accumulators >= fres.Accumulators {
+		t.Errorf("filtered accumulators %d >= unfiltered %d", res.Accumulators, fres.Accumulators)
+	}
+}
+
+func TestRefinementSequenceAPI(t *testing.T) {
+	col, ix := testIndex(t)
+	q, err := ix.TopicQuery(col.Topics[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := ix.RankTermsByContribution(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != len(q) {
+		t.Fatalf("ranked %d terms, want %d", len(ranked), len(q))
+	}
+	seq, err := BuildRefinementSequence(col.Topics[0].ID, AddOnly, ranked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Refinements) < 2 {
+		t.Fatal("sequence too short")
+	}
+	// Run the sequence through a session; disk reads must be positive
+	// and the API's relevance metric must work.
+	s, err := ix.NewSession(SessionConfig{Algorithm: BAF, Policy: RAP, BufferPages: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := NewRelevanceSet(col.Topics[0].Relevant)
+	for _, rq := range seq.Refinements {
+		res, err := s.Search(rq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ap := AveragePrecision(res.Top, rel)
+		if ap < 0 || ap > 1 {
+			t.Errorf("AP out of range: %g", ap)
+		}
+	}
+}
+
+func TestIndexDocumentsAndSearchText(t *testing.T) {
+	texts := corpus.SynthesizeText(5, 120, 400, 30, 80)
+	docs := make([]Document, len(texts))
+	for i, txt := range texts {
+		docs[i] = Document{Name: "synth", Text: txt}
+	}
+	// Add a recognizable document.
+	docs = append(docs, Document{
+		Name: "wsj-1",
+		Text: "Drastic price increases hit American stockmarkets as investors panicked. Stockmarket trading volumes surged; price levels kept increasing drastically.",
+	})
+	ix, err := IndexDocuments(docs, IndexOptions{PageSize: 16, NumStopWords: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ix.NewSession(SessionConfig{Algorithm: BAF, Policy: RAP, BufferPages: 64, Unfiltered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.SearchText("drastic price increases in American stockmarkets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Top) == 0 {
+		t.Fatal("no results")
+	}
+	if ix.DocName(res.Top[0].Doc) != "wsj-1" {
+		t.Errorf("top doc = %q, want wsj-1", ix.DocName(res.Top[0].Doc))
+	}
+	// ParseQuery fails gracefully on nonsense.
+	if _, err := s.SearchText("zzzzqqqq xxxyyy"); err == nil {
+		t.Error("unindexable query should fail")
+	}
+	// ParseQuery is unavailable for synthetic indexes.
+	_, synthIx := testIndex(t)
+	if _, err := synthIx.ParseQuery("anything"); err == nil {
+		t.Error("ParseQuery should require a document-built index")
+	}
+}
+
+func TestParseQueryFrequencies(t *testing.T) {
+	docs := []Document{
+		{Name: "a", Text: "gold gold gold silver copper metals gold silver"},
+		{Name: "b", Text: "silver copper platinum"},
+		{Name: "c", Text: "iron ore mining"},
+	}
+	ix, err := IndexDocuments(docs, IndexOptions{PageSize: 8, NumStopWords: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ix.ParseQuery("gold gold silver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for _, qt := range q {
+		byName[ix.TermName(qt.Term)] = qt.Fqt
+	}
+	if byName["gold"] != 2 || byName["silver"] != 1 {
+		t.Errorf("query frequencies = %v", byName)
+	}
+}
+
+func TestSharedSessionPool(t *testing.T) {
+	col, ix := testIndex(t)
+	pool, err := ix.NewSharedSessionPool(128, RAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q0, _ := ix.TopicQuery(col.Topics[0])
+	q1, _ := ix.TopicQuery(col.Topics[1])
+
+	s0, err := pool.NewSession(SessionConfig{Algorithm: BAF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s0.Close()
+	s1, err := pool.NewSession(SessionConfig{Algorithm: BAF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+
+	if _, err := s0.Search(q0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Search(q1); err != nil {
+		t.Fatal(err)
+	}
+	// A second user running the SAME topic must profit from user 0's
+	// cached pages.
+	s2, err := pool.NewSession(SessionConfig{Algorithm: BAF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	before := pool.BufferStats()
+	res, err := s2.Search(q0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := pool.BufferStats()
+	if after.Hits == before.Hits {
+		t.Error("no cross-user buffer hits on a repeated topic")
+	}
+	if res.PagesRead > res.PagesProcessed/2 {
+		t.Errorf("warm cross-user query read %d of %d pages", res.PagesRead, res.PagesProcessed)
+	}
+	if _, err := ix.NewSharedSessionPool(8, "BOGUS"); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+func TestDiskReadAccounting(t *testing.T) {
+	col, ix := testIndex(t)
+	ix.ResetDiskReads()
+	q, _ := ix.TopicQuery(col.Topics[1])
+	s, _ := ix.NewSession(SessionConfig{BufferPages: 32})
+	res, err := s.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.DiskReads() != int64(res.PagesRead) {
+		t.Errorf("index DiskReads %d != result PagesRead %d", ix.DiskReads(), res.PagesRead)
+	}
+}
+
+func TestLookupTermThroughPipeline(t *testing.T) {
+	docs := []Document{
+		{Name: "a", Text: "computing computers computation"},
+		{Name: "b", Text: "networks"},
+	}
+	ix, err := IndexDocuments(docs, IndexOptions{NumStopWords: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw surface form resolves via the pipeline to the stem.
+	id, ok := ix.LookupTerm("computers")
+	if !ok {
+		t.Fatal("LookupTerm(computers) failed")
+	}
+	if ix.TermName(id) != "comput" {
+		t.Errorf("resolved to %q", ix.TermName(id))
+	}
+}
+
+func TestCompressedIndexEquivalence(t *testing.T) {
+	col, plain := testIndex(t)
+	comp, err := NewCompressedIndex(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := comp.CompressionStats()
+	if !ok {
+		t.Fatal("compressed index reports no stats")
+	}
+	if st.Ratio() < 2 {
+		t.Errorf("compression ratio %.2f suspiciously low", st.Ratio())
+	}
+	if _, ok := plain.CompressionStats(); ok {
+		t.Error("plain index should report no compression stats")
+	}
+	// Identical results and identical disk-read counts for the same
+	// queries under both representations.
+	for ti := 0; ti < 3; ti++ {
+		q, err := plain.TopicQuery(col.Topics[ti])
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(ix *Index) *Result {
+			s, err := ix.NewSession(SessionConfig{Algorithm: DF, Policy: RAP, BufferPages: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		a, b := run(plain), run(comp)
+		if a.PagesRead != b.PagesRead || a.Accumulators != b.Accumulators {
+			t.Errorf("topic %d: stats differ: reads %d/%d accums %d/%d",
+				ti, a.PagesRead, b.PagesRead, a.Accumulators, b.Accumulators)
+		}
+		for i := range a.Top {
+			if a.Top[i] != b.Top[i] {
+				t.Errorf("topic %d: rankings differ at %d", ti, i)
+				break
+			}
+		}
+	}
+	// Contribution ranking works over the compressed store too.
+	q, _ := comp.TopicQuery(col.Topics[0])
+	if _, err := comp.RankTermsByContribution(q); err != nil {
+		t.Fatalf("RankTermsByContribution over compressed store: %v", err)
+	}
+}
+
+func TestIndexSaveOpen(t *testing.T) {
+	col, ix := testIndex(t)
+	path := t.TempDir() + "/synthetic.bufir"
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := OpenIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumDocs() != ix.NumDocs() || loaded.NumTerms() != ix.NumTerms() ||
+		loaded.NumPages() != ix.NumPages() {
+		t.Fatal("loaded index shape differs")
+	}
+	q, err := ix.TopicQuery(col.Topics[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(i *Index) *Result {
+		s, err := i.NewSession(SessionConfig{Algorithm: DF, Policy: RAP, BufferPages: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(ix), run(loaded)
+	if a.PagesRead != b.PagesRead {
+		t.Errorf("reads differ: %d vs %d", a.PagesRead, b.PagesRead)
+	}
+	for i := range a.Top {
+		if a.Top[i] != b.Top[i] {
+			t.Fatalf("ranking differs at %d", i)
+		}
+	}
+}
+
+func TestDocumentIndexSaveOpenKeepsTextSearch(t *testing.T) {
+	docs := []Document{
+		{Name: "a", Text: "the gold market rallied; gold futures jumped"},
+		{Name: "b", Text: "the silver market slipped"},
+		{Name: "c", Text: "the weather was mild and the parade was long"},
+	}
+	ix, err := IndexDocuments(docs, IndexOptions{PageSize: 8, NumStopWords: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/docs.bufir"
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := OpenIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := loaded.NewSession(SessionConfig{Unfiltered: true, BufferPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.SearchText("gold markets")
+	if err != nil {
+		t.Fatalf("text search after reload: %v", err)
+	}
+	if len(res.Top) == 0 || loaded.DocName(res.Top[0].Doc) != "a" {
+		t.Errorf("top result = %v", res.Top)
+	}
+}
+
+func TestBuildFeedbackSequence(t *testing.T) {
+	col, ix := testIndex(t)
+	q, err := ix.TopicQuery(col.Topics[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := ix.BuildFeedbackSequence(q[:3], FeedbackOptions{Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Refinements) < 2 {
+		t.Fatalf("refinements = %d", len(seq.Refinements))
+	}
+	last := seq.Refinements[len(seq.Refinements)-1]
+	if len(last) <= 3 {
+		t.Errorf("feedback never expanded the query: %d terms", len(last))
+	}
+	// Sequences run fine through a session.
+	s, err := ix.NewSession(SessionConfig{Algorithm: BAF, Policy: RAP, BufferPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rq := range seq.Refinements {
+		if _, err := s.Search(rq); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPhraseSearch(t *testing.T) {
+	docs := []Document{
+		{Name: "a", Text: "the stock market crashed badly today"},
+		{Name: "b", Text: "market news: crashed servers delayed stock trading"},
+		{Name: "c", Text: "the stock exchange and the market"},
+	}
+	ix, err := IndexDocuments(docs, IndexOptions{PageSize: 8, NumStopWords: -1, Positional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ix.NewSession(SessionConfig{Unfiltered: true, BufferPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unquoted: every doc mentioning the terms ranks.
+	loose, err := s.SearchText("stock market")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loose.Top) != 3 {
+		t.Fatalf("loose search returned %d docs, want 3", len(loose.Top))
+	}
+	// Quoted: only the doc with the exact adjacency survives.
+	strict, err := s.SearchText(`"stock market" crashed`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict.Top) != 1 || ix.DocName(strict.Top[0].Doc) != "a" {
+		t.Fatalf("phrase search = %v", strict.Top)
+	}
+	// Direct operators.
+	ph, err := ix.PhraseDocs([]string{"stock", "market"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ph) != 1 || ph[0] != 0 {
+		t.Errorf("PhraseDocs = %v", ph)
+	}
+	near, err := ix.NearDocs("stock", "crashed", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(near) != 2 { // doc a (distance 2) and doc b (distance 3)
+		t.Errorf("NearDocs = %v", near)
+	}
+	// Phrase queries without positional data fail loudly.
+	plain, err := IndexDocuments(docs, IndexOptions{PageSize: 8, NumStopWords: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, _ := plain.NewSession(SessionConfig{Unfiltered: true})
+	if _, err := ps.SearchText(`"stock market"`); err == nil {
+		t.Error("phrase query without positional index should fail")
+	}
+	if _, err := plain.PhraseDocs([]string{"stock"}); err == nil {
+		t.Error("PhraseDocs without positional index should fail")
+	}
+}
+
+func TestExtractPhrases(t *testing.T) {
+	phrases, stripped := extractPhrases(`alpha "beta gamma" delta "epsilon" "" trailing`)
+	if len(phrases) != 2 {
+		t.Fatalf("phrases = %v", phrases)
+	}
+	if phrases[0][0] != "beta" || phrases[0][1] != "gamma" || phrases[1][0] != "epsilon" {
+		t.Errorf("phrases = %v", phrases)
+	}
+	for _, w := range []string{"alpha", "beta", "gamma", "delta", "epsilon", "trailing"} {
+		if !strings.Contains(stripped, w) {
+			t.Errorf("stripped %q lost word %q", stripped, w)
+		}
+	}
+	if strings.Contains(stripped, `"`) {
+		t.Errorf("stripped %q still has quotes", stripped)
+	}
+	// Unbalanced quote: remainder passes through unchanged.
+	_, st := extractPhrases(`a "b c`)
+	if !strings.Contains(st, "b") {
+		t.Errorf("unbalanced quote lost text: %q", st)
+	}
+}
+
+// TestSharedSessionsConcurrent drives several shared sessions from
+// separate goroutines (run with -race): the shared pool must serialize
+// correctly and produce sane per-query results throughout.
+func TestSharedSessionsConcurrent(t *testing.T) {
+	col, ix := testIndex(t)
+	pool, err := ix.NewSharedSessionPool(96, RAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const users = 4
+	errs := make(chan error, users)
+	for u := 0; u < users; u++ {
+		go func(u int) {
+			s, err := pool.NewSession(SessionConfig{Algorithm: BAF})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer s.Close()
+			q, err := ix.TopicQuery(col.Topics[u%3])
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 10; i++ {
+				res, err := s.Search(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Top) == 0 {
+					errs <- fmt.Errorf("user %d: empty results", u)
+					return
+				}
+			}
+			errs <- nil
+		}(u)
+	}
+	for u := 0; u < users; u++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pool.BufferStats()
+	if st.Hits == 0 {
+		t.Error("no cross-query buffer hits under concurrency")
+	}
+}
+
+func TestCompressedIndexSaveOpen(t *testing.T) {
+	col, _ := testIndex(t)
+	comp, err := NewCompressedIndex(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/comp.bufir"
+	if err := comp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := OpenIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumPages() != comp.NumPages() || loaded.NumTerms() != comp.NumTerms() {
+		t.Error("compressed index did not round-trip through Save/Open")
+	}
+}

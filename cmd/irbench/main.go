@@ -1,0 +1,176 @@
+// Command irbench regenerates the tables and figures of Jónsson,
+// Franklin & Srivastava (SIGMOD 1998) against the synthetic
+// collection. Each experiment prints a paper-style table or data
+// series; see DESIGN.md §4 for the experiment-to-artifact mapping.
+//
+// Usage:
+//
+//	irbench [-scale tiny|default|paper] [-seed N] [-exp LIST]
+//	        [-topics N] [-points N] [-out FILE]
+//
+// -exp is a comma-separated subset of:
+//
+//	fig3 fig4 table4 table5 table12 table6 fig5 fig6 table7 fig7 fig8
+//	multiuser ablations baselines compression feedback docsorted
+//	weblegend boolean dualbuf summary effect
+//
+// (fig56/fig78 are aliases for the figure pairs; default "all").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"bufir/internal/corpus"
+	"bufir/internal/experiments"
+	"bufir/internal/refine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("irbench: ")
+	var (
+		scale   = flag.String("scale", "default", "collection scale: tiny, default, or paper")
+		seed    = flag.Int64("seed", 1998, "generator seed")
+		exps    = flag.String("exp", "all", "comma-separated experiments to run")
+		topics  = flag.Int("topics", 0, "topics for summary/effect experiments (0 = all)")
+		points  = flag.Int("points", 10, "buffer-size sweep points")
+		outPath = flag.String("out", "", "write output to file instead of stdout")
+		cadd    = flag.Float64("cadd", 0, "override c_add filtering constant (0 = collection-tuned default)")
+		cins    = flag.Float64("cins", 0, "override c_ins filtering constant (0 = collection-tuned default)")
+		csvDir  = flag.String("csv", "", "also write each experiment's data series as CSV into this directory")
+	)
+	flag.Parse()
+
+	var cfg corpus.Config
+	switch *scale {
+	case "tiny":
+		cfg = corpus.TinyConfig(*seed)
+	case "default":
+		cfg = corpus.DefaultConfig(*seed)
+	case "paper":
+		cfg = corpus.PaperConfig(*seed)
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	start := time.Now()
+	fmt.Fprintf(w, "irbench: scale=%s seed=%d (N=%d docs, V=%d terms, page=%d entries)\n",
+		*scale, *seed, cfg.NumDocs, cfg.VocabSize, cfg.PageSize)
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *cadd > 0 || *cins > 0 {
+		p := env.Params()
+		if *cadd > 0 {
+			p.CAdd = *cadd
+		}
+		if *cins > 0 {
+			p.CIns = *cins
+		}
+		env.SetParams(p)
+		fmt.Fprintf(w, "filtering constants overridden: c_add=%g c_ins=%g\n", p.CAdd, p.CIns)
+	}
+	fmt.Fprintf(w, "environment built in %v: %d inverted-list pages, conversion table %d bytes\n\n",
+		time.Since(start).Round(time.Millisecond), env.Idx.NumPagesTotal, env.Conv.SizeBytes())
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	section := func(name string) bool { return all || want[name] }
+	div := func() { fmt.Fprintln(w, "\n"+strings.Repeat("-", 78)+"\n") }
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	type formatter interface{ Format(io.Writer) }
+	run := func(name string, f func() (formatter, error)) {
+		if !section(name) {
+			return
+		}
+		t0 := time.Now()
+		res, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		res.Format(w)
+		if *csvDir != "" {
+			if cw, ok := res.(experiments.CSVWriter); ok {
+				path := fmt.Sprintf("%s/%s.csv", *csvDir, name)
+				f, err := os.Create(path)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := cw.WriteCSV(f); err != nil {
+					log.Fatalf("%s: csv: %v", name, err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Fprintf(w, "[csv written to %s]\n", path)
+			}
+		}
+		fmt.Fprintf(w, "[%s completed in %v]\n", name, time.Since(t0).Round(time.Millisecond))
+		div()
+	}
+
+	run("fig3", func() (formatter, error) { return env.RunFig3() })
+	run("fig4", func() (formatter, error) { return env.RunFig4() })
+	run("table4", func() (formatter, error) { return env.RunTable4() })
+	run("table5", func() (formatter, error) { return env.RunTable5() })
+	run("table12", func() (formatter, error) { return env.RunWorkedExample() })
+	run("table6", func() (formatter, error) { return env.RunTable6() })
+	if want["fig56"] { // alias for both ADD-ONLY figures
+		want["fig5"], want["fig6"] = true, true
+	}
+	if want["fig78"] { // alias for both ADD-DROP figures
+		want["fig7"], want["fig8"] = true, true
+	}
+	run("fig5", func() (formatter, error) { return env.RunSweep("Figure 5", 0, refine.AddOnly, *points) })
+	run("fig6", func() (formatter, error) { return env.RunSweep("Figure 6", 1, refine.AddOnly, *points) })
+	run("table7", func() (formatter, error) { return env.RunTable7() })
+	run("fig7", func() (formatter, error) { return env.RunSweep("Figure 7", 0, refine.AddDrop, *points) })
+	run("fig8", func() (formatter, error) { return env.RunSweep("Figure 8", 1, refine.AddDrop, *points) })
+	run("multiuser", func() (formatter, error) { return env.RunMultiUser(*points) })
+	run("ablations", func() (formatter, error) { return env.RunAblations() })
+	run("baselines", func() (formatter, error) { return env.RunBaselines(*points) })
+	run("compression", func() (formatter, error) { return env.RunCompression() })
+	run("feedback", func() (formatter, error) { return env.RunFeedback(0, *points) })
+	run("docsorted", func() (formatter, error) { return env.RunDocSorted(*points) })
+	run("weblegend", func() (formatter, error) { return env.RunWebLegend(*topics) })
+	run("boolean", func() (formatter, error) { return env.RunBoolean(*topics) })
+	run("dualbuf", func() (formatter, error) { return env.RunDualBuf() })
+	run("summary", func() (formatter, error) { return env.RunSummary(refine.AddOnly, *topics, 6) })
+	run("effect", func() (formatter, error) { return env.RunEffectiveness(effTopics(*topics), 4) })
+
+	fmt.Fprintf(w, "total time %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// effTopics bounds the effectiveness experiment, which multiplies the
+// sweep by four policies: default to 20 topics when unrestricted.
+func effTopics(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return 20
+}

@@ -1,0 +1,3 @@
+module bufir
+
+go 1.22

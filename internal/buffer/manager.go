@@ -1,0 +1,252 @@
+// Package buffer implements the server buffer manager of the paper's
+// simulator (§4.1): a fixed-capacity pool of inverted-list pages with
+// pluggable replacement policies (LRU, MRU, and the paper's
+// Ranking-Aware Policy, RAP), pin/unpin semantics, per-term resident
+// page counts (the b_t values the BAF algorithm inquires about, Figure
+// 2 step 3(a)iii), and hit/miss/eviction accounting.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"bufir/internal/postings"
+)
+
+// PageReader is the storage surface the buffer manager needs: a
+// counted page fetch. *storage.Store implements it.
+type PageReader interface {
+	Read(id postings.PageID) ([]postings.Entry, error)
+}
+
+// Frame is a buffer slot holding one inverted-list page. Policy
+// bookkeeping (list links, heap position) is embedded so policies are
+// allocation-free on the hot path.
+type Frame struct {
+	Page   postings.PageID
+	Term   postings.TermID
+	Offset int32   // page index within its term's list
+	WStar  float64 // w*_{d,t}: max document weight on the page
+
+	data []postings.Entry
+	pin  int
+
+	// intrusive doubly-linked list (LRU/MRU recency chain)
+	prev, next *Frame
+	// RAP priority-queue bookkeeping
+	value   float64
+	heapIdx int
+}
+
+// Data returns the page's postings entries. Valid only while the
+// frame is pinned.
+func (f *Frame) Data() []postings.Entry { return f.data }
+
+// Pinned reports whether the frame is currently pinned.
+func (f *Frame) Pinned() bool { return f.pin > 0 }
+
+// QueryWeights reports w_{q,t} for a term under the current query (0
+// for terms not in the query). RAP uses it to value pages.
+type QueryWeights func(t postings.TermID) float64
+
+// Policy is a buffer replacement policy. The Manager serializes all
+// calls, so implementations need no internal locking.
+type Policy interface {
+	// Name identifies the policy ("LRU", "MRU", "RAP", ...).
+	Name() string
+	// Admitted is called after a page is loaded into frame f.
+	Admitted(f *Frame)
+	// Touched is called on every buffer hit for f.
+	Touched(f *Frame)
+	// Removed is called when f leaves the pool (eviction or flush).
+	Removed(f *Frame)
+	// Victim returns the frame the policy wants evicted, skipping
+	// pinned frames; nil if every frame is pinned. The Manager calls
+	// Removed on the returned frame.
+	Victim() *Frame
+	// SetQuery informs the policy that a new query is being evaluated.
+	// Only RAP reacts: page replacement values depend on w_{q,t}.
+	SetQuery(w QueryWeights)
+}
+
+// ErrNoVictim is returned by Get when the pool is full and every frame
+// is pinned.
+var ErrNoVictim = errors.New("buffer: all frames pinned, cannot evict")
+
+// Stats aggregates buffer-manager counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Manager is the buffer manager. It is safe for concurrent use.
+type Manager struct {
+	mu       sync.Mutex
+	capacity int
+	store    PageReader
+	ix       *postings.Index
+	policy   Policy
+	frames   map[postings.PageID]*Frame
+	resident []int // per-term count of buffered pages (b_t)
+	stats    Stats
+	weights  QueryWeights
+}
+
+// NewManager creates a buffer manager of the given page capacity over
+// the store, using metadata from ix to label frames with their term,
+// list offset and w* value. capacity must be >= 1.
+func NewManager(capacity int, store PageReader, ix *postings.Index, policy Policy) (*Manager, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("buffer: capacity %d < 1", capacity)
+	}
+	if policy == nil {
+		return nil, errors.New("buffer: nil policy")
+	}
+	if store == nil {
+		return nil, errors.New("buffer: nil store")
+	}
+	return &Manager{
+		capacity: capacity,
+		store:    store,
+		ix:       ix,
+		policy:   policy,
+		frames:   make(map[postings.PageID]*Frame, capacity),
+		resident: make([]int, len(ix.Terms)),
+	}, nil
+}
+
+// Capacity returns the pool size in pages.
+func (m *Manager) Capacity() int { return m.capacity }
+
+// Policy returns the replacement policy's name.
+func (m *Manager) Policy() string { return m.policy.Name() }
+
+// Get fixes page id in the pool, loading it from the store on a miss
+// (evicting a victim first if the pool is full), and returns the
+// pinned frame. The caller must Unpin the frame when done with it.
+func (m *Manager) Get(id postings.PageID) (*Frame, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if f, ok := m.frames[id]; ok {
+		m.stats.Hits++
+		f.pin++
+		m.policy.Touched(f)
+		return f, nil
+	}
+
+	// Miss: make room if needed, then load.
+	if len(m.frames) >= m.capacity {
+		victim := m.policy.Victim()
+		if victim == nil {
+			return nil, ErrNoVictim
+		}
+		m.removeLocked(victim)
+		m.stats.Evictions++
+	}
+	data, err := m.store.Read(id)
+	if err != nil {
+		return nil, fmt.Errorf("buffer: load page %d: %w", id, err)
+	}
+	m.stats.Misses++
+	f := &Frame{
+		Page:   id,
+		Term:   m.ix.TermOfPage(id),
+		Offset: m.ix.PageOffset(id),
+		WStar:  m.ix.PageWStar(id),
+		data:   data,
+		pin:    1,
+	}
+	m.frames[id] = f
+	m.resident[f.Term]++
+	m.policy.Admitted(f)
+	return f, nil
+}
+
+// Unpin releases one pin on the frame. Unpinning an unpinned frame is
+// a programming error and panics.
+func (m *Manager) Unpin(f *Frame) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f.pin <= 0 {
+		panic(fmt.Sprintf("buffer: unpin of unpinned page %d", f.Page))
+	}
+	f.pin--
+}
+
+// Contains reports whether a page is currently buffered (without
+// touching it: no policy state changes, matching the paper's b_t
+// inquiry which must not perturb replacement order).
+func (m *Manager) Contains(id postings.PageID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.frames[id]
+	return ok
+}
+
+// ResidentPages returns b_t: how many pages of term t's inverted list
+// are currently buffered (Figure 2, step 3(a)iii).
+func (m *Manager) ResidentPages(t postings.TermID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.resident[t]
+}
+
+// InUse returns the number of occupied frames.
+func (m *Manager) InUse() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.frames)
+}
+
+// SetQuery announces the query about to be evaluated by supplying its
+// term weights w_{q,t}. LRU and MRU ignore this; RAP re-keys every
+// buffered page's replacement value (§3.3: values change between
+// queries, so a reorganizing capability is required).
+func (m *Manager) SetQuery(w QueryWeights) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if w == nil {
+		w = func(postings.TermID) float64 { return 0 }
+	}
+	m.weights = w
+	m.policy.SetQuery(w)
+}
+
+// Flush empties the pool (used to cold-start refinement sequences).
+// Flushing with pinned pages is a programming error and panics.
+func (m *Manager) Flush() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.frames {
+		if f.pin > 0 {
+			panic(fmt.Sprintf("buffer: flush with pinned page %d", f.Page))
+		}
+	}
+	for _, f := range m.frames {
+		m.removeLocked(f)
+	}
+}
+
+// Stats returns a snapshot of the hit/miss/eviction counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// ResetStats zeroes the counters (pool contents are untouched).
+func (m *Manager) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{}
+}
+
+// removeLocked detaches f from the pool. Caller holds m.mu.
+func (m *Manager) removeLocked(f *Frame) {
+	m.policy.Removed(f)
+	delete(m.frames, f.Page)
+	m.resident[f.Term]--
+}

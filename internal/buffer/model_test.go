@@ -1,0 +1,187 @@
+package buffer
+
+import (
+	"math/rand"
+	"testing"
+
+	"bufir/internal/postings"
+)
+
+// referenceLRU is an executable specification of LRU over page IDs.
+type referenceLRU struct {
+	capacity int
+	order    []postings.PageID // front = most recent
+}
+
+func (m *referenceLRU) access(p postings.PageID) (evicted postings.PageID, hit, didEvict bool) {
+	for i, q := range m.order {
+		if q == p {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			m.order = append([]postings.PageID{p}, m.order...)
+			return 0, true, false
+		}
+	}
+	if len(m.order) >= m.capacity {
+		evicted = m.order[len(m.order)-1]
+		m.order = m.order[:len(m.order)-1]
+		didEvict = true
+	}
+	m.order = append([]postings.PageID{p}, m.order...)
+	return evicted, false, didEvict
+}
+
+func (m *referenceLRU) contains(p postings.PageID) bool {
+	for _, q := range m.order {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLRUAgainstModel replays long random access traces and checks the
+// manager's resident set and hit/miss accounting against the
+// reference model exactly.
+func TestLRUAgainstModel(t *testing.T) {
+	ix, st := testEnv(t)
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 20; trial++ {
+		capacity := 1 + r.Intn(6)
+		mgr, err := NewManager(capacity, st, ix, NewLRU())
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := &referenceLRU{capacity: capacity}
+		var hits, misses int64
+		for op := 0; op < 400; op++ {
+			p := postings.PageID(r.Intn(7))
+			_, hit, _ := model.access(p)
+			if hit {
+				hits++
+			} else {
+				misses++
+			}
+			f, err := mgr.Get(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mgr.Unpin(f)
+			// Resident sets agree after every operation.
+			for q := postings.PageID(0); q < 7; q++ {
+				if mgr.Contains(q) != model.contains(q) {
+					t.Fatalf("trial %d op %d: Contains(%d) = %v, model %v",
+						trial, op, q, mgr.Contains(q), model.contains(q))
+				}
+			}
+		}
+		s := mgr.Stats()
+		if s.Hits != hits || s.Misses != misses {
+			t.Fatalf("trial %d: stats (%d,%d), model (%d,%d)", trial, s.Hits, s.Misses, hits, misses)
+		}
+	}
+}
+
+// TestRAPAgainstLinearScan: RAP's heap-based victim selection must
+// always pick the same victim a brute-force scan over (value, offset
+// desc, page) would pick.
+func TestRAPAgainstLinearScan(t *testing.T) {
+	ix, st := testEnv(t)
+	r := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 20; trial++ {
+		capacity := 2 + r.Intn(5)
+		pol := NewRAP()
+		mgr, err := NewManager(capacity, st, ix, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random query weights, re-keyed occasionally.
+		setRandomQuery := func() {
+			w := make(map[postings.TermID]float64, 3)
+			for tm := postings.TermID(0); tm < 3; tm++ {
+				if r.Intn(2) == 0 {
+					w[tm] = float64(1 + r.Intn(5))
+				}
+			}
+			mgr.SetQuery(func(tm postings.TermID) float64 { return w[tm] })
+		}
+		setRandomQuery()
+		for op := 0; op < 300; op++ {
+			if r.Intn(25) == 0 {
+				setRandomQuery()
+			}
+			// Before a potential eviction, compute the brute-force
+			// victim from the heap's own contents.
+			if len(pol.pq.frames) >= capacity {
+				want := bruteVictim(pol.pq.frames)
+				got := pol.Victim()
+				if got != want {
+					t.Fatalf("trial %d op %d: heap victim page %d, brute-force %d",
+						trial, op, got.Page, want.Page)
+				}
+			}
+			p := postings.PageID(r.Intn(7))
+			f, err := mgr.Get(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mgr.Unpin(f)
+		}
+	}
+}
+
+// bruteVictim selects the min-(value, offset desc, page) frame.
+func bruteVictim(frames []*Frame) *Frame {
+	var best *Frame
+	for _, f := range frames {
+		if f.Pinned() {
+			continue
+		}
+		if best == nil {
+			best = f
+			continue
+		}
+		if f.value != best.value {
+			if f.value < best.value {
+				best = f
+			}
+			continue
+		}
+		if f.Offset != best.Offset {
+			if f.Offset > best.Offset {
+				best = f
+			}
+			continue
+		}
+		if f.Page < best.Page {
+			best = f
+		}
+	}
+	return best
+}
+
+// TestRAPHeapIndicesConsistent: after arbitrary operations every
+// frame's heapIdx must point at itself (the container/heap contract
+// the Remove path depends on).
+func TestRAPHeapIndicesConsistent(t *testing.T) {
+	ix, st := testEnv(t)
+	pol := NewRAP()
+	mgr, _ := NewManager(3, st, ix, pol)
+	r := rand.New(rand.NewSource(9))
+	mgr.SetQuery(func(tm postings.TermID) float64 { return float64(tm + 1) })
+	for op := 0; op < 500; op++ {
+		p := postings.PageID(r.Intn(7))
+		f, err := mgr.Get(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr.Unpin(f)
+		if op%50 == 0 {
+			mgr.SetQuery(func(tm postings.TermID) float64 { return float64(r.Intn(4)) })
+		}
+		for i, fr := range pol.pq.frames {
+			if fr.heapIdx != i {
+				t.Fatalf("op %d: frame %d has heapIdx %d at position %d", op, fr.Page, fr.heapIdx, i)
+			}
+		}
+	}
+}

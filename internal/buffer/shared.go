@@ -1,0 +1,113 @@
+package buffer
+
+import (
+	"sync"
+
+	"bufir/internal/postings"
+)
+
+// Pool is the buffer-manager surface the query evaluator needs. It is
+// implemented by *Manager (single-user) and *UserView (a user's handle
+// on a SharedPool).
+type Pool interface {
+	// Get fixes a page in the pool; the caller must Unpin it.
+	Get(id postings.PageID) (*Frame, error)
+	// Unpin releases one pin.
+	Unpin(f *Frame)
+	// ResidentPages reports b_t for a term.
+	ResidentPages(t postings.TermID) int
+	// SetQuery announces the caller's current query weights.
+	SetQuery(w QueryWeights)
+	// Stats returns pool counters.
+	Stats() Stats
+}
+
+var (
+	_ Pool = (*Manager)(nil)
+	_ Pool = (*UserView)(nil)
+)
+
+// SharedPool realizes the second multi-user option of §3.3: a single
+// buffer pool managed as one unit, with a global registry of every
+// active user's query. Under RAP, a page's replacement value uses the
+// *highest* w_{q,t} of its term across all registered queries — the
+// paper's suggestion for terms shared by many queries — so one user's
+// refinement cannot evict pages another user is actively ranking
+// with, and users benefit from pages cached for each other.
+type SharedPool struct {
+	mgr *Manager
+
+	mu      sync.Mutex
+	weights map[int]QueryWeights
+}
+
+// NewSharedPool creates a shared pool of the given capacity.
+func NewSharedPool(capacity int, store PageReader, ix *postings.Index, policy Policy) (*SharedPool, error) {
+	mgr, err := NewManager(capacity, store, ix, policy)
+	if err != nil {
+		return nil, err
+	}
+	return &SharedPool{mgr: mgr, weights: make(map[int]QueryWeights)}, nil
+}
+
+// UserView returns user id's handle on the pool. Each concurrent user
+// (session) gets its own view; queries announced through a view are
+// combined with every other user's before reaching the replacement
+// policy.
+func (sp *SharedPool) UserView(id int) *UserView {
+	return &UserView{pool: sp, id: id}
+}
+
+// Manager exposes the underlying manager for stats and maintenance.
+func (sp *SharedPool) Manager() *Manager { return sp.mgr }
+
+// setUserQuery records one user's weights and pushes the combined
+// function to the replacement policy.
+func (sp *SharedPool) setUserQuery(id int, w QueryWeights) {
+	sp.mu.Lock()
+	if w == nil {
+		delete(sp.weights, id)
+	} else {
+		sp.weights[id] = w
+	}
+	views := make([]QueryWeights, 0, len(sp.weights))
+	for _, uw := range sp.weights {
+		views = append(views, uw)
+	}
+	sp.mu.Unlock()
+	sp.mgr.SetQuery(func(t postings.TermID) float64 {
+		max := 0.0
+		for _, uw := range views {
+			if v := uw(t); v > max {
+				max = v
+			}
+		}
+		return max
+	})
+}
+
+// UserView is one user's handle on a SharedPool; it implements Pool.
+type UserView struct {
+	pool *SharedPool
+	id   int
+}
+
+// Get implements Pool.
+func (uv *UserView) Get(id postings.PageID) (*Frame, error) { return uv.pool.mgr.Get(id) }
+
+// Unpin implements Pool.
+func (uv *UserView) Unpin(f *Frame) { uv.pool.mgr.Unpin(f) }
+
+// ResidentPages implements Pool.
+func (uv *UserView) ResidentPages(t postings.TermID) int { return uv.pool.mgr.ResidentPages(t) }
+
+// SetQuery implements Pool: the user's weights join the registry and
+// the combined maximum is what the policy sees.
+func (uv *UserView) SetQuery(w QueryWeights) { uv.pool.setUserQuery(uv.id, w) }
+
+// Stats implements Pool (shared counters).
+func (uv *UserView) Stats() Stats { return uv.pool.mgr.Stats() }
+
+// Close removes the user's query from the registry (call when the
+// session ends so its weights stop protecting pages).
+func (uv *UserView) Close() { uv.pool.setUserQuery(uv.id, nil) }

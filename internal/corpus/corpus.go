@@ -1,0 +1,358 @@
+// Package corpus generates the synthetic document collection, topics
+// and relevance judgments that stand in for the paper's TREC WSJ data
+// (530 MB, 173,252 documents — see DESIGN.md for the substitution
+// rationale). The generator controls exactly the properties the
+// paper's results depend on:
+//
+//   - the inverted-list length histogram (Table 4's idf bands),
+//   - the within-list frequency skew (f_add rarely above 10; high
+//     frequencies concentrated on the first page),
+//   - topic structure: each topic has a planted set of relevant
+//     documents whose frequencies for the topic's terms are boosted,
+//     which yields meaningful relevance judgments and the S_max
+//     dynamics behind Figures 3 and 4,
+//   - four engineered "representative" topics reproducing the profiles
+//     of the paper's QUERY1–QUERY4 (Table 5).
+//
+// Everything is driven by an explicit seed and is fully deterministic.
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bufir/internal/postings"
+)
+
+// Band describes one inverted-list length band (a row of Table 4).
+type Band struct {
+	// Name labels the band ("low-idf", ...).
+	Name string
+	// Terms is the number of vocabulary terms in the band; a zero
+	// value on the last band means "fill the remaining vocabulary".
+	Terms int
+	// MinDF and MaxDF bound the document frequency f_t of the band's
+	// terms; individual values are sampled log-uniformly.
+	MinDF, MaxDF int
+	// FreqContinue and FreqCap override the config-level background
+	// within-document frequency skew for this band (0 values inherit).
+	// Real text has common terms repeating many times per document
+	// while rare terms appear once or twice, so the rare bands should
+	// use smaller values.
+	FreqContinue float64
+	FreqCap      int32
+	// FreqAlpha, when > 1, replaces the geometric distribution with a
+	// truncated discrete power law P(f=k) ∝ k^-FreqAlpha for this
+	// band. Real within-document term frequencies are power-law
+	// distributed (the paper's Table 1 implies P(f>=2) ≈ 0.44 and
+	// P(f>=3) ≈ 0.24 for WSJ, a tail far heavier than geometric), and
+	// the heavy tail is what makes the addition threshold shrink list
+	// prefixes gradually as S_max grows instead of collapsing them.
+	FreqAlpha float64
+}
+
+// Config parameterizes collection generation.
+type Config struct {
+	// Seed drives all randomness; equal configs generate equal
+	// collections.
+	Seed int64
+	// NumDocs is N, the collection size.
+	NumDocs int
+	// VocabSize is the total number of distinct terms.
+	VocabSize int
+	// PageSize is the page capacity used downstream (recorded here so
+	// bands can be expressed in pages when building configs).
+	PageSize int
+	// Bands is the inverted-list length histogram, most frequent
+	// (lowest idf) first.
+	Bands []Band
+	// NumTopics is the number of synthetic TREC-style topics.
+	NumTopics int
+	// TopicMinTerms/TopicMaxTerms bound the topic sizes; the paper's
+	// query studies use 30–100 terms (§2.1).
+	TopicMinTerms, TopicMaxTerms int
+	// RelevantMin/RelevantMax bound the planted relevant-set sizes.
+	RelevantMin, RelevantMax int
+	// FreqContinue is the geometric continuation probability of
+	// background within-document frequencies: P(f = k) ∝ FreqContinue^k.
+	// Small values keep f_dt skewed towards 1, as in real text.
+	FreqContinue float64
+	// FreqCap truncates background frequencies.
+	FreqCap int32
+}
+
+// DefaultConfig returns the laptop-scale collection used by tests,
+// examples and benchmarks: 40k documents, 30k terms, PageSize 100.
+// The band layout reproduces the *shape* of Table 4 at 1/5 scale
+// (pages 51–115 / 11–50 / 2–10 / 1 per band, as in the paper).
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:      seed,
+		NumDocs:   40_000,
+		VocabSize: 30_000,
+		PageSize:  100,
+		Bands: []Band{
+			{Name: "low-idf", Terms: 60, MinDF: 5_100, MaxDF: 11_500, FreqAlpha: 2.0, FreqCap: 80},
+			{Name: "medium-idf", Terms: 300, MinDF: 1_100, MaxDF: 5_000, FreqAlpha: 2.1, FreqCap: 40},
+			{Name: "high-idf", Terms: 1_100, MinDF: 150, MaxDF: 1_000, FreqAlpha: 2.3, FreqCap: 15},
+			{Name: "very-high-idf", Terms: 0, MinDF: 1, MaxDF: 100, FreqContinue: 0.12, FreqCap: 3},
+		},
+		NumTopics:     100,
+		TopicMinTerms: 30,
+		TopicMaxTerms: 100,
+		RelevantMin:   40,
+		RelevantMax:   120,
+		FreqContinue:  0.30,
+		FreqCap:       12,
+	}
+}
+
+// TinyConfig returns a unit-test-scale collection (4k documents, 3k
+// terms) that builds in milliseconds. The band structure is
+// proportionally compressed; use DefaultConfig for experiments.
+func TinyConfig(seed int64) Config {
+	return Config{
+		Seed:      seed,
+		NumDocs:   4_000,
+		VocabSize: 3_000,
+		PageSize:  50,
+		Bands: []Band{
+			{Name: "low-idf", Terms: 30, MinDF: 1_000, MaxDF: 2_000, FreqAlpha: 2.0, FreqCap: 80},
+			{Name: "medium-idf", Terms: 90, MinDF: 250, MaxDF: 900, FreqAlpha: 2.1, FreqCap: 40},
+			{Name: "high-idf", Terms: 150, MinDF: 55, MaxDF: 240, FreqAlpha: 2.3, FreqCap: 15},
+			{Name: "very-high-idf", Terms: 0, MinDF: 1, MaxDF: 50, FreqContinue: 0.12, FreqCap: 3},
+		},
+		NumTopics:     8,
+		TopicMinTerms: 30,
+		TopicMaxTerms: 40,
+		RelevantMin:   20,
+		RelevantMax:   60,
+		FreqContinue:  0.30,
+		FreqCap:       12,
+	}
+}
+
+// PaperConfig returns the full WSJ-scale configuration matching Table
+// 4's term counts and page ranges exactly (173,252 documents, 167,017
+// terms, PageSize 404). Generating it takes noticeably longer and is
+// intended for one-off validation runs, not the routine test suite.
+func PaperConfig(seed int64) Config {
+	return Config{
+		Seed:      seed,
+		NumDocs:   173_252,
+		VocabSize: 167_017,
+		PageSize:  postings.DefaultPageSize,
+		Bands: []Band{
+			{Name: "low-idf", Terms: 265, MinDF: 51*postings.DefaultPageSize - 200, MaxDF: 115 * postings.DefaultPageSize, FreqAlpha: 2.0, FreqCap: 80},
+			{Name: "medium-idf", Terms: 1_255, MinDF: 11*postings.DefaultPageSize - 200, MaxDF: 50 * postings.DefaultPageSize, FreqAlpha: 2.1, FreqCap: 40},
+			{Name: "high-idf", Terms: 4_540, MinDF: postings.DefaultPageSize + 1, MaxDF: 10 * postings.DefaultPageSize, FreqAlpha: 2.3, FreqCap: 15},
+			{Name: "very-high-idf", Terms: 0, MinDF: 1, MaxDF: postings.DefaultPageSize, FreqContinue: 0.12, FreqCap: 3},
+		},
+		NumTopics:     100,
+		TopicMinTerms: 30,
+		TopicMaxTerms: 100,
+		RelevantMin:   50,
+		RelevantMax:   200,
+		FreqContinue:  0.30,
+		FreqCap:       12,
+	}
+}
+
+// Validate sanity-checks a configuration.
+func (c Config) Validate() error {
+	if c.NumDocs < 1 {
+		return fmt.Errorf("corpus: NumDocs %d < 1", c.NumDocs)
+	}
+	if c.VocabSize < 1 {
+		return fmt.Errorf("corpus: VocabSize %d < 1", c.VocabSize)
+	}
+	if len(c.Bands) == 0 {
+		return fmt.Errorf("corpus: no bands")
+	}
+	fixed := 0
+	for i, b := range c.Bands {
+		if b.MinDF < 1 || b.MaxDF < b.MinDF {
+			return fmt.Errorf("corpus: band %q has invalid df range [%d,%d]", b.Name, b.MinDF, b.MaxDF)
+		}
+		if b.MaxDF > c.NumDocs {
+			return fmt.Errorf("corpus: band %q MaxDF %d exceeds NumDocs %d", b.Name, b.MaxDF, c.NumDocs)
+		}
+		if b.Terms == 0 && i != len(c.Bands)-1 {
+			return fmt.Errorf("corpus: only the last band may have Terms == 0 (band %q)", b.Name)
+		}
+		fixed += b.Terms
+	}
+	if fixed > c.VocabSize {
+		return fmt.Errorf("corpus: bands assign %d terms but VocabSize is %d", fixed, c.VocabSize)
+	}
+	if c.NumTopics < 0 {
+		return fmt.Errorf("corpus: NumTopics %d < 0", c.NumTopics)
+	}
+	if c.NumTopics > 0 {
+		if c.TopicMinTerms < 1 || c.TopicMaxTerms < c.TopicMinTerms {
+			return fmt.Errorf("corpus: invalid topic term range [%d,%d]", c.TopicMinTerms, c.TopicMaxTerms)
+		}
+		if c.RelevantMin < 1 || c.RelevantMax < c.RelevantMin || c.RelevantMax > c.NumDocs {
+			return fmt.Errorf("corpus: invalid relevant range [%d,%d]", c.RelevantMin, c.RelevantMax)
+		}
+	}
+	if c.FreqContinue < 0 || c.FreqContinue >= 1 {
+		return fmt.Errorf("corpus: FreqContinue %g outside [0,1)", c.FreqContinue)
+	}
+	if c.FreqCap < 1 {
+		return fmt.Errorf("corpus: FreqCap %d < 1", c.FreqCap)
+	}
+	return nil
+}
+
+// TopicTerm is one term of a topic with its query frequency.
+type TopicTerm struct {
+	Term string
+	Fqt  int
+}
+
+// Topic is a synthetic TREC-style topic: the query terms and the
+// planted relevance judgments.
+type Topic struct {
+	// ID is 1-based (topics 1–4 are the engineered QUERY1–QUERY4
+	// analogues; see Profile).
+	ID int
+	// Title is a short human-readable description.
+	Title string
+	// Profile names the engineered shape ("dominant", "two-lift",
+	// "flat", "broad") or "random".
+	Profile string
+	// Terms are the topic's query terms.
+	Terms []TopicTerm
+	// Relevant lists the planted relevant documents (the synthetic
+	// relevance judgments).
+	Relevant []postings.DocID
+}
+
+// Collection is a generated synthetic collection: raw inverted lists
+// (ready for postings.Build) plus topics and judgments.
+type Collection struct {
+	Cfg      Config
+	NumDocs  int
+	Lists    []postings.TermPostings
+	Topics   []Topic
+	bandOf   []int // term index -> band index
+	termName []string
+}
+
+// BandOfTerm returns the band index that generated term i.
+func (c *Collection) BandOfTerm(i int) int { return c.bandOf[i] }
+
+// TermName returns the name of term i.
+func (c *Collection) TermName(i int) string { return c.termName[i] }
+
+// logUniform samples an integer log-uniformly from [lo, hi].
+func logUniform(r *rand.Rand, lo, hi int) int {
+	if lo >= hi {
+		return lo
+	}
+	x := math.Exp(r.Float64()*(math.Log(float64(hi))-math.Log(float64(lo))) + math.Log(float64(lo)))
+	v := int(x)
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// sampleDistinctDocs draws k distinct DocIDs from [0, n) by rejection.
+func sampleDistinctDocs(r *rand.Rand, k, n int) []postings.DocID {
+	if k > n {
+		k = n
+	}
+	seen := make(map[postings.DocID]bool, k)
+	out := make([]postings.DocID, 0, k)
+	for len(out) < k {
+		d := postings.DocID(r.Intn(n))
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// geometricFreq draws a background within-document frequency:
+// 1 + Geometric(FreqContinue), truncated at cap.
+func geometricFreq(r *rand.Rand, cont float64, cap int32) int32 {
+	f := int32(1)
+	for f < cap && r.Float64() < cont {
+		f++
+	}
+	return f
+}
+
+// freqSampler draws background within-document frequencies for one
+// band: a truncated discrete power law P(f=k) ∝ k^-alpha when
+// Alpha > 1, else the geometric fallback.
+type freqSampler struct {
+	cdf  []float64 // cumulative P(f <= k+1); nil selects geometric
+	cont float64
+	cap  int32
+}
+
+// newFreqSampler precomputes the power-law CDF for a band.
+func newFreqSampler(alpha, cont float64, cap int32) *freqSampler {
+	fs := &freqSampler{cont: cont, cap: cap}
+	if alpha > 1 && cap >= 1 {
+		weights := make([]float64, cap)
+		total := 0.0
+		for k := int32(1); k <= cap; k++ {
+			w := math.Pow(float64(k), -alpha)
+			weights[k-1] = w
+			total += w
+		}
+		fs.cdf = make([]float64, cap)
+		acc := 0.0
+		for i, w := range weights {
+			acc += w / total
+			fs.cdf[i] = acc
+		}
+		fs.cdf[cap-1] = 1 // absorb rounding
+	}
+	return fs
+}
+
+// withCap returns a sampler identical to fs but truncated at a lower
+// cap (used for per-term frequency-cap overrides).
+func (fs *freqSampler) withCap(cap int32) *freqSampler {
+	if cap >= fs.cap {
+		return fs
+	}
+	if fs.cdf == nil {
+		return &freqSampler{cont: fs.cont, cap: cap}
+	}
+	out := &freqSampler{cap: cap, cdf: make([]float64, cap)}
+	scale := fs.cdf[cap-1]
+	for i := int32(0); i < cap; i++ {
+		out.cdf[i] = fs.cdf[i] / scale
+	}
+	out.cdf[cap-1] = 1
+	return out
+}
+
+// draw samples one frequency.
+func (fs *freqSampler) draw(r *rand.Rand) int32 {
+	if fs.cdf == nil {
+		return geometricFreq(r, fs.cont, fs.cap)
+	}
+	u := r.Float64()
+	lo, hi := 0, len(fs.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if fs.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo + 1)
+}

@@ -1,0 +1,406 @@
+package corpus
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bufir/internal/postings"
+)
+
+func tinyCollection(t testing.TB) *Collection {
+	t.Helper()
+	col, err := Generate(TinyConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(TinyConfig(123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(TinyConfig(123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Lists) != len(b.Lists) || len(a.Topics) != len(b.Topics) {
+		t.Fatal("sizes differ across identical seeds")
+	}
+	for i := range a.Lists {
+		if a.Lists[i].Name != b.Lists[i].Name || len(a.Lists[i].Entries) != len(b.Lists[i].Entries) {
+			t.Fatalf("list %d differs", i)
+		}
+		for j := range a.Lists[i].Entries {
+			if a.Lists[i].Entries[j] != b.Lists[i].Entries[j] {
+				t.Fatalf("list %d entry %d differs", i, j)
+			}
+		}
+	}
+	for i := range a.Topics {
+		if len(a.Topics[i].Terms) != len(b.Topics[i].Terms) ||
+			len(a.Topics[i].Relevant) != len(b.Topics[i].Relevant) {
+			t.Fatalf("topic %d differs", i)
+		}
+	}
+	c, err := Generate(TinyConfig(124))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Lists {
+		if len(a.Lists[i].Entries) != len(c.Lists[i].Entries) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced structurally identical collections (suspicious)")
+	}
+}
+
+func TestGenerateBandStructure(t *testing.T) {
+	col := tinyCollection(t)
+	cfg := col.Cfg
+	counts := make([]int, len(cfg.Bands))
+	for i := range col.Lists {
+		b := col.BandOfTerm(i)
+		counts[b]++
+		df := len(col.Lists[i].Entries)
+		// Boosting can only lengthen lists, never shorten them.
+		if df < cfg.Bands[b].MinDF {
+			t.Errorf("term %d (band %s): df %d below band minimum %d",
+				i, cfg.Bands[b].Name, df, cfg.Bands[b].MinDF)
+		}
+	}
+	for bi, b := range cfg.Bands[:len(cfg.Bands)-1] {
+		if counts[bi] != b.Terms {
+			t.Errorf("band %s has %d terms, want %d", b.Name, counts[bi], b.Terms)
+		}
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != cfg.VocabSize {
+		t.Errorf("total terms %d, want %d", total, cfg.VocabSize)
+	}
+}
+
+func TestGenerateValidPostings(t *testing.T) {
+	col := tinyCollection(t)
+	for i, l := range col.Lists {
+		seen := make(map[postings.DocID]bool, len(l.Entries))
+		for _, e := range l.Entries {
+			if e.Freq < 1 {
+				t.Fatalf("term %d: non-positive frequency", i)
+			}
+			if int(e.Doc) < 0 || int(e.Doc) >= col.NumDocs {
+				t.Fatalf("term %d: doc %d out of range", i, e.Doc)
+			}
+			if seen[e.Doc] {
+				t.Fatalf("term %d: duplicate doc %d", i, e.Doc)
+			}
+			seen[e.Doc] = true
+		}
+	}
+}
+
+func TestGenerateTopics(t *testing.T) {
+	col := tinyCollection(t)
+	cfg := col.Cfg
+	if len(col.Topics) != cfg.NumTopics {
+		t.Fatalf("topics = %d, want %d", len(col.Topics), cfg.NumTopics)
+	}
+	profiles := map[string]bool{}
+	for ti, topic := range col.Topics {
+		profiles[topic.Profile] = true
+		if topic.ID != ti+1 {
+			t.Errorf("topic %d has ID %d", ti, topic.ID)
+		}
+		if len(topic.Relevant) < cfg.RelevantMin || len(topic.Relevant) > cfg.RelevantMax {
+			t.Errorf("topic %d relevant size %d outside [%d,%d]",
+				ti, len(topic.Relevant), cfg.RelevantMin, cfg.RelevantMax)
+		}
+		seen := map[string]bool{}
+		for _, tt := range topic.Terms {
+			if tt.Fqt < 1 {
+				t.Errorf("topic %d term %q has fqt %d", ti, tt.Term, tt.Fqt)
+			}
+			if seen[tt.Term] {
+				t.Errorf("topic %d repeats term %q", ti, tt.Term)
+			}
+			seen[tt.Term] = true
+		}
+		// Random topics respect the configured size range; engineered
+		// ones have their own fixed shapes.
+		if topic.Profile == "random" {
+			if len(topic.Terms) < cfg.TopicMinTerms || len(topic.Terms) > cfg.TopicMaxTerms {
+				t.Errorf("topic %d has %d terms outside [%d,%d]",
+					ti, len(topic.Terms), cfg.TopicMinTerms, cfg.TopicMaxTerms)
+			}
+		}
+	}
+	for _, p := range []string{"dominant", "two-lift", "flat", "broad", "worked", "random"} {
+		if !profiles[p] {
+			t.Errorf("profile %q missing from generated topics", p)
+		}
+	}
+}
+
+// TestEngineeredTopicsDisjoint: topics 0-4 must not share any term, so
+// their planted S_max dynamics cannot contaminate each other.
+func TestEngineeredTopicsDisjoint(t *testing.T) {
+	col := tinyCollection(t)
+	seen := map[string]int{}
+	for ti := 0; ti <= 4; ti++ {
+		for _, tt := range col.Topics[ti].Terms {
+			if prev, ok := seen[tt.Term]; ok {
+				t.Errorf("term %q shared by engineered topics %d and %d", tt.Term, prev, ti)
+			}
+			seen[tt.Term] = ti
+		}
+	}
+}
+
+// TestWorkedTopicShape: topic 4 must have the §3.2.1 example shape.
+func TestWorkedTopicShape(t *testing.T) {
+	col := tinyCollection(t)
+	topic := col.Topics[4]
+	if topic.Profile != "worked" {
+		t.Fatalf("topic 4 profile = %q", topic.Profile)
+	}
+	if len(topic.Terms) != 6 {
+		t.Fatalf("worked topic has %d terms, want 6", len(topic.Terms))
+	}
+	for _, tt := range topic.Terms {
+		if tt.Fqt != 1 {
+			t.Errorf("worked topic term %q fqt = %d, want 1", tt.Term, tt.Fqt)
+		}
+	}
+}
+
+// TestBoostedDocsAreRelevant: the planted relevance judgments must be
+// reflected in the postings — relevant documents of a strongly boosted
+// topic appear with elevated frequencies in its term lists.
+func TestBoostedDocsAreRelevant(t *testing.T) {
+	col := tinyCollection(t)
+	topic := col.Topics[0] // dominant profile: strong boosts
+	rel := make(map[postings.DocID]bool, len(topic.Relevant))
+	for _, d := range topic.Relevant {
+		rel[d] = true
+	}
+	// The dominant term is the one with fqt 5.
+	var domName string
+	for _, tt := range topic.Terms {
+		if tt.Fqt == 5 {
+			domName = tt.Term
+		}
+	}
+	if domName == "" {
+		t.Fatal("no dominant term in topic 0")
+	}
+	var domList []postings.Entry
+	for i := range col.Lists {
+		if col.Lists[i].Name == domName {
+			domList = col.Lists[i].Entries
+		}
+	}
+	relHigh, bgHigh := 0, 0
+	for _, e := range domList {
+		if e.Freq >= 10 {
+			if rel[e.Doc] {
+				relHigh++
+			} else {
+				bgHigh++
+			}
+		}
+	}
+	if relHigh == 0 {
+		t.Error("no relevant doc with boosted frequency in the dominant list")
+	}
+	if relHigh <= bgHigh {
+		t.Errorf("boost signal too weak: %d relevant vs %d background high-frequency entries", relHigh, bgHigh)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := TinyConfig(1)
+	mutations := []func(*Config){
+		func(c *Config) { c.NumDocs = 0 },
+		func(c *Config) { c.VocabSize = 0 },
+		func(c *Config) { c.Bands = nil },
+		func(c *Config) { c.Bands[0].MinDF = 0 },
+		func(c *Config) { c.Bands[0].MaxDF = c.Bands[0].MinDF - 1 },
+		func(c *Config) { c.Bands[0].MaxDF = c.NumDocs + 1 },
+		func(c *Config) { c.Bands[0].Terms = 0 }, // non-last zero band
+		func(c *Config) { c.Bands[0].Terms = c.VocabSize + 1 },
+		func(c *Config) { c.NumTopics = -1 },
+		func(c *Config) { c.TopicMinTerms = 0 },
+		func(c *Config) { c.TopicMaxTerms = c.TopicMinTerms - 1 },
+		func(c *Config) { c.RelevantMax = c.NumDocs + 1 },
+		func(c *Config) { c.FreqContinue = 1.5 },
+		func(c *Config) { c.FreqCap = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := base
+		cfg.Bands = append([]Band(nil), base.Bands...)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d should fail validation", i)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("base config invalid: %v", err)
+	}
+	if err := DefaultConfig(1).Validate(); err != nil {
+		t.Errorf("DefaultConfig invalid: %v", err)
+	}
+	if err := PaperConfig(1).Validate(); err != nil {
+		t.Errorf("PaperConfig invalid: %v", err)
+	}
+}
+
+func TestLogUniform(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	lo, hi := 10, 1000
+	for i := 0; i < 5000; i++ {
+		v := logUniform(r, lo, hi)
+		if v < lo || v > hi {
+			t.Fatalf("logUniform out of range: %d", v)
+		}
+	}
+	if got := logUniform(r, 7, 7); got != 7 {
+		t.Errorf("degenerate range = %d", got)
+	}
+}
+
+func TestSampleDistinctDocs(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	docs := sampleDistinctDocs(r, 50, 60)
+	if len(docs) != 50 {
+		t.Fatalf("len = %d", len(docs))
+	}
+	seen := map[postings.DocID]bool{}
+	for _, d := range docs {
+		if seen[d] {
+			t.Fatal("duplicate doc")
+		}
+		seen[d] = true
+	}
+	// k > n clamps.
+	if got := sampleDistinctDocs(r, 10, 4); len(got) != 4 {
+		t.Errorf("clamp failed: %d", len(got))
+	}
+}
+
+func TestFreqSamplerPowerLaw(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	fs := newFreqSampler(2.0, 0, 80)
+	const n = 200_000
+	var ones, twoPlus int
+	maxSeen := int32(0)
+	for i := 0; i < n; i++ {
+		f := fs.draw(r)
+		if f < 1 || f > 80 {
+			t.Fatalf("draw out of range: %d", f)
+		}
+		if f == 1 {
+			ones++
+		} else {
+			twoPlus++
+		}
+		if f > maxSeen {
+			maxSeen = f
+		}
+	}
+	// Truncated zeta(2) over 1..80: P(1) ≈ 0.62.
+	p1 := float64(ones) / n
+	if math.Abs(p1-0.62) > 0.03 {
+		t.Errorf("P(f=1) = %.3f, want ≈0.62", p1)
+	}
+	if maxSeen < 20 {
+		t.Errorf("power-law tail too thin: max %d", maxSeen)
+	}
+}
+
+func TestFreqSamplerWithCap(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	fs := newFreqSampler(2.0, 0, 80).withCap(2)
+	for i := 0; i < 1000; i++ {
+		if f := fs.draw(r); f > 2 {
+			t.Fatalf("capped sampler drew %d", f)
+		}
+	}
+	// withCap on a geometric sampler.
+	g := newFreqSampler(0, 0.5, 10).withCap(3)
+	for i := 0; i < 1000; i++ {
+		if f := g.draw(r); f > 3 {
+			t.Fatalf("capped geometric drew %d", f)
+		}
+	}
+	// Raising the cap is a no-op returning the same sampler.
+	orig := newFreqSampler(2.0, 0, 10)
+	if orig.withCap(20) != orig {
+		t.Error("withCap above existing cap should return the receiver")
+	}
+}
+
+func TestGeometricFreq(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 1000; i++ {
+		f := geometricFreq(r, 0.3, 5)
+		if f < 1 || f > 5 {
+			t.Fatalf("geometricFreq out of range: %d", f)
+		}
+	}
+	if f := geometricFreq(r, 0, 5); f != 1 {
+		t.Errorf("zero continuation must give 1, got %d", f)
+	}
+}
+
+func TestSynthesizeText(t *testing.T) {
+	docs := SynthesizeText(3, 20, 100, 30, 60)
+	if len(docs) != 20 {
+		t.Fatalf("len = %d", len(docs))
+	}
+	for i, d := range docs {
+		if len(d) == 0 {
+			t.Errorf("doc %d empty", i)
+		}
+	}
+	again := SynthesizeText(3, 20, 100, 30, 60)
+	for i := range docs {
+		if docs[i] != again[i] {
+			t.Fatal("SynthesizeText not deterministic")
+		}
+	}
+	other := SynthesizeText(4, 20, 100, 30, 60)
+	if docs[0] == other[0] {
+		t.Error("different seeds produced identical first document")
+	}
+	if SynthesizeText(1, 0, 10, 1, 2) != nil {
+		t.Error("zero docs should return nil")
+	}
+}
+
+// TestGenerateBandExhaustionError: configurations too small for the
+// engineered topics fail with a descriptive error instead of panicking.
+func TestGenerateBandExhaustionError(t *testing.T) {
+	cfg := TinyConfig(1)
+	cfg.VocabSize = 60
+	cfg.Bands = []Band{
+		{Name: "low-idf", Terms: 2, MinDF: 10, MaxDF: 20},
+		{Name: "medium-idf", Terms: 3, MinDF: 5, MaxDF: 9},
+		{Name: "high-idf", Terms: 3, MinDF: 3, MaxDF: 4},
+		{Name: "very-high-idf", Terms: 0, MinDF: 1, MaxDF: 2},
+	}
+	cfg.NumDocs = 50
+	cfg.RelevantMin, cfg.RelevantMax = 2, 5
+	cfg.TopicMinTerms, cfg.TopicMaxTerms = 5, 10
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("expected a band-exhaustion error")
+	}
+}

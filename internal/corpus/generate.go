@@ -1,0 +1,485 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bufir/internal/postings"
+)
+
+// boostSpec describes how strongly one topic term is planted into the
+// topic's relevant documents.
+type boostSpec struct {
+	termIdx  int
+	prob     float64 // probability a relevant document receives the boost
+	min, max int32   // boost magnitude range (added to f_dt)
+}
+
+// topicPlan is an intermediate representation of a topic before the
+// postings are generated.
+type topicPlan struct {
+	id       int
+	title    string
+	profile  string
+	termIdx  []int // vocabulary indices of the topic's terms
+	fqt      []int
+	relevant []postings.DocID
+	boosts   []boostSpec
+	// freqCap overrides the background frequency cap for specific
+	// terms (used by engineered topics to pin a term's f_max).
+	freqCap map[int]int32
+}
+
+// Generate builds the full synthetic collection: vocabulary with
+// banded document frequencies, topics with planted relevant documents,
+// and the resulting inverted lists.
+func Generate(cfg Config) (*Collection, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// 1. Vocabulary: assign each term a band and a document frequency.
+	bandOf := make([]int, cfg.VocabSize)
+	dfOf := make([]int, cfg.VocabSize)
+	termName := make([]string, cfg.VocabSize)
+	next := 0
+	for bi, b := range cfg.Bands {
+		n := b.Terms
+		if n == 0 { // last band fills the remaining vocabulary
+			n = cfg.VocabSize - next
+		}
+		for i := 0; i < n && next < cfg.VocabSize; i++ {
+			bandOf[next] = bi
+			dfOf[next] = logUniform(r, b.MinDF, b.MaxDF)
+			termName[next] = fmt.Sprintf("t%05d", next)
+			next++
+		}
+	}
+	if next != cfg.VocabSize {
+		return nil, fmt.Errorf("corpus: bands produced %d terms, want %d", next, cfg.VocabSize)
+	}
+	// Terms of each band, for topic sampling.
+	byBand := make([][]int, len(cfg.Bands))
+	for i, b := range bandOf {
+		byBand[b] = append(byBand[b], i)
+	}
+
+	// 2. Topics (with engineered profiles for topics 0-4). The
+	// engineered topics share a reservation set: their planted terms
+	// are mutually disjoint and off-limits to the random topics, so no
+	// foreign boost can distort their carefully shaped S_max dynamics.
+	reserved := make(map[int]bool)
+	plans := make([]topicPlan, 0, cfg.NumTopics)
+	for ti := 0; ti < cfg.NumTopics; ti++ {
+		plan, err := makeTopicPlan(r, cfg, ti, byBand, reserved)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, plan)
+	}
+
+	// 3. Collect boosts per term: term index -> doc -> added frequency.
+	boostByTerm := make(map[int]map[postings.DocID]int32)
+	for _, plan := range plans {
+		for _, bs := range plan.boosts {
+			m := boostByTerm[bs.termIdx]
+			if m == nil {
+				m = make(map[postings.DocID]int32)
+				boostByTerm[bs.termIdx] = m
+			}
+			for _, d := range plan.relevant {
+				if r.Float64() < bs.prob {
+					m[d] += bs.min + int32(r.Intn(int(bs.max-bs.min)+1))
+				}
+			}
+		}
+	}
+
+	// 3b. Per-term background frequency-cap overrides from the
+	// engineered topics.
+	capOverride := make(map[int]int32)
+	for _, plan := range plans {
+		for t, cap := range plan.freqCap {
+			if cur, ok := capOverride[t]; !ok || cap < cur {
+				capOverride[t] = cap
+			}
+		}
+	}
+
+	// 4. Generate the inverted lists: background postings plus boosts.
+	// One frequency sampler per band, derived from the band's skew
+	// parameters (inheriting the config defaults where unset).
+	samplers := make([]*freqSampler, len(cfg.Bands))
+	for bi, b := range cfg.Bands {
+		fcont := cfg.FreqContinue
+		if b.FreqContinue > 0 {
+			fcont = b.FreqContinue
+		}
+		fcap := cfg.FreqCap
+		if b.FreqCap > 0 {
+			fcap = b.FreqCap
+		}
+		samplers[bi] = newFreqSampler(b.FreqAlpha, fcont, fcap)
+	}
+	lists := make([]postings.TermPostings, cfg.VocabSize)
+	for t := 0; t < cfg.VocabSize; t++ {
+		sampler := samplers[bandOf[t]]
+		if c, ok := capOverride[t]; ok {
+			sampler = sampler.withCap(c)
+		}
+		docs := sampleDistinctDocs(r, dfOf[t], cfg.NumDocs)
+		entries := make([]postings.Entry, 0, len(docs)+8)
+		inList := make(map[postings.DocID]int, len(docs))
+		for _, d := range docs {
+			inList[d] = len(entries)
+			entries = append(entries, postings.Entry{
+				Doc:  d,
+				Freq: sampler.draw(r),
+			})
+		}
+		if boosts := boostByTerm[t]; boosts != nil {
+			// Apply boosts deterministically: sorted doc order.
+			bdocs := make([]postings.DocID, 0, len(boosts))
+			for d := range boosts {
+				bdocs = append(bdocs, d)
+			}
+			sort.Slice(bdocs, func(i, j int) bool { return bdocs[i] < bdocs[j] })
+			for _, d := range bdocs {
+				if i, ok := inList[d]; ok {
+					entries[i].Freq += boosts[d]
+				} else {
+					entries = append(entries, postings.Entry{Doc: d, Freq: 1 + boosts[d]})
+				}
+			}
+		}
+		lists[t] = postings.TermPostings{Name: termName[t], Entries: entries}
+	}
+
+	// 5. Materialize topics.
+	topics := make([]Topic, len(plans))
+	for i, plan := range plans {
+		tt := make([]TopicTerm, len(plan.termIdx))
+		for j, idx := range plan.termIdx {
+			tt[j] = TopicTerm{Term: termName[idx], Fqt: plan.fqt[j]}
+		}
+		topics[i] = Topic{
+			ID:       plan.id,
+			Title:    plan.title,
+			Profile:  plan.profile,
+			Terms:    tt,
+			Relevant: plan.relevant,
+		}
+	}
+
+	return &Collection{
+		Cfg:      cfg,
+		NumDocs:  cfg.NumDocs,
+		Lists:    lists,
+		Topics:   topics,
+		bandOf:   bandOf,
+		termName: termName,
+	}, nil
+}
+
+// pickDistinct draws k distinct elements from pool (without mutating
+// it) and records them in used so later picks for the same topic stay
+// disjoint. Candidates in blocked (which may alias used) are skipped.
+func pickDistinct(r *rand.Rand, pool []int, k int, used, blocked map[int]bool) []int {
+	if len(pool) == 0 || k < 1 {
+		return nil
+	}
+	out := make([]int, 0, k)
+	take := func(c int) {
+		used[c] = true
+		out = append(out, c)
+	}
+	// Rejection sampling: topic sizes are far below band sizes, so a
+	// bounded number of attempts suffices; fall back to a scan if the
+	// pool is nearly exhausted.
+	attempts := 0
+	for len(out) < k && attempts < 50*k+100 {
+		attempts++
+		c := pool[r.Intn(len(pool))]
+		if !used[c] && !blocked[c] {
+			take(c)
+		}
+	}
+	if len(out) < k {
+		for _, c := range pool {
+			if len(out) == k {
+				break
+			}
+			if !used[c] && !blocked[c] {
+				take(c)
+			}
+		}
+	}
+	return out
+}
+
+// weightedProfile draws the random-topic strength mixture: 55%
+// strong, 30% moderate, 15% weak. TREC queries mostly have a clear
+// topical core (the paper's average DF savings of two-thirds implies
+// most queries drive S_max well above the threshold denominators), so
+// strong profiles dominate.
+func weightedProfile(r *rand.Rand) int {
+	switch v := r.Intn(20); {
+	case v < 11:
+		return 0
+	case v < 17:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Band indices as laid out by DefaultConfig/PaperConfig.
+const (
+	BandLow = iota
+	BandMedium
+	BandHigh
+	BandVeryHigh
+)
+
+// makeTopicPlan creates topic ti (0-based). Topics 0–3 are the
+// engineered analogues of the paper's QUERY1–QUERY4 (Table 5), and
+// topic 4 is the worked refinement example of §3.2.1:
+//
+//	QUERY1 "dominant":  one high-idf term with f_qt=5 and a strong
+//	                    boost, placed after ~11 higher-idf terms, so
+//	                    S_max jumps mid-query (Figure 4, QUERY1).
+//	QUERY2 "two-lift":  two moderately boosted terms around positions
+//	                    13 and 23 of the idf order.
+//	QUERY3 "flat":      no strongly boosted term; S_max stays low, so
+//	                    filtering saves little (9.4% in the paper).
+//	QUERY4 "broad":     ~99 terms, many with medium/long lists; large
+//	                    savings from the low-idf lists.
+//
+// Remaining topics draw a random profile mixture, producing the spread
+// of Figure 3.
+func makeTopicPlan(r *rand.Rand, cfg Config, ti int, byBand [][]int, reserved map[int]bool) (topicPlan, error) {
+	if len(byBand) < 4 {
+		return topicPlan{}, fmt.Errorf("corpus: topic generation requires the 4-band layout, got %d bands", len(byBand))
+	}
+	plan := topicPlan{id: ti + 1}
+	// Engineered topics (0-4) draw from — and extend — the shared
+	// reservation set; random topics use a private set but may not
+	// touch reserved terms.
+	used := reserved
+	blocked := reserved
+	if ti > 4 {
+		used = make(map[int]bool)
+	}
+	pick := func(band, k int) []int { return pickDistinct(r, byBand[band], k, used, blocked) }
+	// pickOne is for structurally required terms: exhausting a band is
+	// a configuration error, not a panic.
+	var pickErr error
+	pickOne := func(band int) int {
+		got := pick(band, 1)
+		if len(got) == 0 {
+			if pickErr == nil {
+				pickErr = fmt.Errorf("corpus: band %d exhausted while planting topic %d; enlarge the band or reduce NumTopics", band, ti+1)
+			}
+			return -1
+		}
+		return got[0]
+	}
+	nRel := cfg.RelevantMin + r.Intn(cfg.RelevantMax-cfg.RelevantMin+1)
+	plan.relevant = sampleDistinctDocs(r, nRel, cfg.NumDocs)
+
+	// addTerms appends terms with f_qt drawn from [1, maxFq]. Very
+	// rare (very-high-idf) terms get f_qt = 1: repeated occurrences in
+	// a query come from relevance feedback over matching documents,
+	// which a term appearing in a handful of documents rarely earns,
+	// and an f_qt multiplier on a 200+ idf² term would let one
+	// background posting dominate S_max.
+	addTerms := func(idxs []int, maxFq int) {
+		for _, idx := range idxs {
+			plan.termIdx = append(plan.termIdx, idx)
+			plan.fqt = append(plan.fqt, 1+r.Intn(maxFq))
+		}
+	}
+	// boost plants a term into the relevant documents.
+	boost := func(idx int, prob float64, min, max int32) {
+		plan.boosts = append(plan.boosts, boostSpec{termIdx: idx, prob: prob, min: min, max: max})
+	}
+	// weakBackground gives every topic a faint signal so relevance
+	// judgments are never pure noise.
+	weakBackground := func() {
+		for _, idx := range plan.termIdx {
+			if r.Float64() < 0.25 {
+				boost(idx, 0.15, 1, 2)
+			}
+		}
+	}
+
+	switch ti {
+	case 0: // QUERY1 analogue: dominant term.
+		plan.profile = "dominant"
+		plan.title = "engineered: one dominant high-idf term"
+		vhs := pick(BandVeryHigh, 11)
+		addTerms(vhs, 1)
+		for _, idx := range vhs {
+			boost(idx, 0.5, 2, 4)
+		}
+		dom := pickOne(BandHigh)
+		plan.termIdx = append(plan.termIdx, dom)
+		plan.fqt = append(plan.fqt, 5)
+		boost(dom, 0.8, 15, 30)
+		his := pick(BandHigh, 8)
+		addTerms(his, 3)
+		for _, idx := range his {
+			boost(idx, 0.5, 3, 8)
+		}
+		meds := pick(BandMedium, 12)
+		addTerms(meds, 3)
+		for _, idx := range meds {
+			boost(idx, 0.4, 4, 10)
+		}
+		addTerms(pick(BandLow, 4), 3)
+		weakBackground()
+	case 1: // QUERY2 analogue: two mid-sequence lifts.
+		plan.profile = "two-lift"
+		plan.title = "engineered: two mid-sequence lifted terms"
+		vhs := pick(BandVeryHigh, 12)
+		addTerms(vhs, 1)
+		for _, idx := range vhs {
+			boost(idx, 0.35, 1, 3)
+		}
+		lift1 := pickOne(BandHigh)
+		plan.termIdx = append(plan.termIdx, lift1)
+		plan.fqt = append(plan.fqt, 3)
+		boost(lift1, 0.7, 8, 16)
+		addTerms(pick(BandHigh, 6), 3)
+		addTerms(pick(BandMedium, 3), 3)
+		lift2 := pickOne(BandMedium)
+		plan.termIdx = append(plan.termIdx, lift2)
+		plan.fqt = append(plan.fqt, 3)
+		boost(lift2, 0.7, 8, 16)
+		addTerms(pick(BandMedium, 5), 3)
+		addTerms(pick(BandLow, 3), 3)
+		weakBackground()
+	case 2: // QUERY3 analogue: flat contributions.
+		plan.profile = "flat"
+		plan.title = "engineered: flat contributions, little filtering"
+		addTerms(pick(BandVeryHigh, 12), 1)
+		addTerms(pick(BandHigh, 8), 3)
+		addTerms(pick(BandMedium, 8), 3)
+		addTerms(pick(BandLow, 3), 3)
+		// Deliberately faint signal: S_max must stay low so filtering
+		// saves little (the paper's QUERY3 saved only 9.4%).
+		for _, idx := range plan.termIdx {
+			if r.Float64() < 0.15 {
+				boost(idx, 0.1, 1, 1)
+			}
+		}
+	case 4: // §3.2.1 worked-example topic: 6 terms shaped like
+		// "stockmarket drastic american increas price + invest".
+		// The high-idf term sets S_max early; the four long low-idf
+		// lists share boosted relevant documents, so S_max keeps
+		// rising while they are processed — which is what makes
+		// pushing the added term back (BAF) pay off.
+		plan.profile = "worked"
+		plan.title = "engineered: worked refinement example of §3.2.1"
+		vh := pickOne(BandVeryHigh)
+		plan.termIdx = append(plan.termIdx, vh)
+		plan.fqt = append(plan.fqt, 1)
+		// Pin the single-page term's f_max low (the paper's
+		// "stockmarket" sets S_max to a small multiple of its idf²)
+		// so an outlier frequency cannot freeze S_max for the rest of
+		// the query.
+		plan.freqCap = map[int]int32{vh: 2}
+		hi := pickOne(BandHigh)
+		plan.termIdx = append(plan.termIdx, hi)
+		plan.fqt = append(plan.fqt, 1)
+		// A mild boost on the short list sets a moderate initial
+		// S_max; strong boosts on the long low-idf lists make S_max
+		// roughly double while they are processed, so a term pushed
+		// to the back of the order (BAF) sees markedly higher
+		// thresholds than the same term processed mid-order (DF).
+		boost(hi, 0.7, 4, 8)
+		for _, idx := range pick(BandLow, 4) {
+			plan.termIdx = append(plan.termIdx, idx)
+			plan.fqt = append(plan.fqt, 1)
+			boost(idx, 0.8, 20, 40)
+		}
+	case 3: // QUERY4 analogue: broad query, long lists.
+		plan.profile = "broad"
+		plan.title = "engineered: broad query over long lists"
+		vhs := pick(BandVeryHigh, 25)
+		addTerms(vhs, 1)
+		for _, idx := range vhs {
+			boost(idx, 0.5, 2, 4)
+		}
+		early := pick(BandHigh, 2)
+		for _, idx := range early {
+			plan.termIdx = append(plan.termIdx, idx)
+			plan.fqt = append(plan.fqt, 4)
+			boost(idx, 0.7, 10, 22)
+		}
+		his := pick(BandHigh, 30)
+		addTerms(his, 3)
+		for _, idx := range his {
+			boost(idx, 0.4, 3, 8)
+		}
+		meds := pick(BandMedium, 34)
+		addTerms(meds, 3)
+		for _, idx := range meds {
+			boost(idx, 0.3, 3, 8)
+		}
+		addTerms(pick(BandLow, 8), 3)
+		weakBackground()
+	default:
+		plan.profile = "random"
+		plan.title = fmt.Sprintf("synthetic topic %d", ti+1)
+		n := cfg.TopicMinTerms + r.Intn(cfg.TopicMaxTerms-cfg.TopicMinTerms+1)
+		// Random band mixture: mostly rare terms, some mid, few long
+		// lists — the composition of stemmed TREC topics.
+		nLow := 1 + r.Intn(3)
+		nMed := 4 + r.Intn(9)
+		nHigh := 6 + r.Intn(11)
+		nVH := n - nLow - nMed - nHigh
+		if nVH < 5 {
+			nVH = 5
+		}
+		addTerms(pick(BandVeryHigh, nVH), 1)
+		addTerms(pick(BandHigh, nHigh), 3)
+		addTerms(pick(BandMedium, nMed), 3)
+		addTerms(pick(BandLow, nLow), 3)
+		// Random dominance: some topics have strong planted terms
+		// (high savings), some none (low savings).
+		if len(plan.termIdx) == 0 {
+			return topicPlan{}, fmt.Errorf("corpus: bands too small to populate topic %d; enlarge the bands or reduce NumTopics", ti+1)
+		}
+		switch weightedProfile(r) {
+		case 0: // strong: a dominant term plus broad topical signal
+			k := 1 + r.Intn(2)
+			for i := 0; i < k; i++ {
+				pos := r.Intn(len(plan.termIdx))
+				plan.fqt[pos] = 3 + r.Intn(3)
+				boost(plan.termIdx[pos], 0.8, 12, 28)
+			}
+			for _, idx := range plan.termIdx {
+				if r.Float64() < 0.45 {
+					boost(idx, 0.5, 2, 6)
+				}
+			}
+		case 1: // moderate
+			k := 2 + r.Intn(3)
+			for i := 0; i < k; i++ {
+				pos := r.Intn(len(plan.termIdx))
+				boost(plan.termIdx[pos], 0.6, 5, 12)
+			}
+			for _, idx := range plan.termIdx {
+				if r.Float64() < 0.3 {
+					boost(idx, 0.3, 1, 4)
+				}
+			}
+		default: // weak
+		}
+		weakBackground()
+	}
+	return plan, nil
+}

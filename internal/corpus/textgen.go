@@ -1,0 +1,85 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// SynthesizeText generates numDocs synthetic plain-text documents for
+// exercising the full lexical pipeline (tokenizer, stop-words, Porter
+// stemmer) and the document-based index builder. Words are drawn from
+// a Zipf-distributed pseudo-vocabulary; a fraction carry inflectional
+// suffixes ("-s", "-ing", "-ed", "-ation") so stemming conflates
+// related surface forms, and occasional punctuation/number noise
+// exercises tokenization.
+//
+// The generator is deterministic in seed.
+func SynthesizeText(seed int64, numDocs, vocabSize, minWords, maxWords int) []string {
+	if numDocs < 1 {
+		return nil
+	}
+	if vocabSize < 10 {
+		vocabSize = 10
+	}
+	if minWords < 1 {
+		minWords = 1
+	}
+	if maxWords < minWords {
+		maxWords = minWords
+	}
+	r := rand.New(rand.NewSource(seed))
+	stems := makeStems(r, vocabSize)
+	zipf := rand.NewZipf(r, 1.2, 2.0, uint64(vocabSize-1))
+	suffixes := []string{"", "", "", "", "s", "ing", "ed", "ation", "er"}
+
+	docs := make([]string, numDocs)
+	var b strings.Builder
+	for d := range docs {
+		b.Reset()
+		n := minWords + r.Intn(maxWords-minWords+1)
+		for i := 0; i < n; i++ {
+			stem := stems[zipf.Uint64()]
+			suffix := suffixes[r.Intn(len(suffixes))]
+			b.WriteString(stem)
+			b.WriteString(suffix)
+			switch r.Intn(12) {
+			case 0:
+				b.WriteString(". ")
+			case 1:
+				b.WriteString(", ")
+			case 2:
+				// numeric noise: removed by tokenization
+				b.WriteString(" 1987 ")
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		docs[d] = b.String()
+	}
+	return docs
+}
+
+// makeStems builds vocabSize distinct pronounceable pseudo-stems from
+// consonant-vowel syllables.
+func makeStems(r *rand.Rand, vocabSize int) []string {
+	const cons = "bcdfglmnprstvz"
+	const vowels = "aeiou"
+	seen := make(map[string]bool, vocabSize)
+	stems := make([]string, 0, vocabSize)
+	var b strings.Builder
+	for len(stems) < vocabSize {
+		b.Reset()
+		syllables := 2 + r.Intn(2)
+		for s := 0; s < syllables; s++ {
+			b.WriteByte(cons[r.Intn(len(cons))])
+			b.WriteByte(vowels[r.Intn(len(vowels))])
+		}
+		b.WriteByte(cons[r.Intn(len(cons))])
+		w := b.String()
+		if !seen[w] {
+			seen[w] = true
+			stems = append(stems, w)
+		}
+	}
+	return stems
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVWriter is implemented by experiment results that can emit their
+// data series as CSV for external plotting; irbench's -csv flag
+// writes one file per experiment.
+type CSVWriter interface {
+	// WriteCSV emits a header row followed by data rows.
+	WriteCSV(w io.Writer) error
+}
+
+// writeCSV is a small helper around encoding/csv.
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func itoa(v int) string     { return strconv.Itoa(v) }
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// WriteCSV implements CSVWriter: one row per topic (Figure 3 scatter).
+func (r *Fig3Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			itoa(row.TopicID), row.Profile, itoa(row.Terms), itoa(row.TotalPages),
+			itoa(row.FullReads), itoa(row.DFReads), ftoa(row.SavingsPct),
+			itoa(row.FullAccums), itoa(row.DFAccums), ftoa(row.FullAP), ftoa(row.DFAP),
+		})
+	}
+	return writeCSV(w, []string{
+		"topic", "profile", "terms", "pages", "full_reads", "df_reads",
+		"savings_pct", "full_accums", "df_accums", "full_ap", "df_ap",
+	}, rows)
+}
+
+// WriteCSV implements CSVWriter: one row per term index, one column
+// per traced query (Figure 4 series).
+func (r *Fig4Result) WriteCSV(w io.Writer) error {
+	header := []string{"term_index"}
+	maxLen := 0
+	for _, s := range r.Series {
+		header = append(header, fmt.Sprintf("query%d_%s", s.TopicID, s.Profile))
+		if len(s.Smax) > maxLen {
+			maxLen = len(s.Smax)
+		}
+	}
+	rows := make([][]string, 0, maxLen)
+	for i := 0; i < maxLen; i++ {
+		row := []string{itoa(i + 1)}
+		for _, s := range r.Series {
+			if i < len(s.Smax) {
+				row = append(row, ftoa(s.Smax[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(w, header, rows)
+}
+
+// seriesCSV renders a buffers-by-configuration table.
+func seriesCSV(w io.Writer, sizes []int, order []string, series map[string][]int) error {
+	header := append([]string{"buffers"}, order...)
+	rows := make([][]string, 0, len(sizes))
+	for i, size := range sizes {
+		row := []string{itoa(size)}
+		for _, cfg := range order {
+			row = append(row, itoa(series[cfg][i]))
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV implements CSVWriter (Figures 5-8).
+func (r *SweepResult) WriteCSV(w io.Writer) error {
+	order := make([]string, len(Combos))
+	for i, c := range Combos {
+		order[i] = c.String()
+	}
+	return seriesCSV(w, r.Sizes, order, r.Series)
+}
+
+// WriteCSV implements CSVWriter (E12).
+func (r *MultiUserResult) WriteCSV(w io.Writer) error {
+	return seriesCSV(w, r.Sizes, MultiUserConfigs, r.Series)
+}
+
+// WriteCSV implements CSVWriter (E14).
+func (r *BaselinesResult) WriteCSV(w io.Writer) error {
+	return seriesCSV(w, r.Sizes, BaselinePolicies, r.Series)
+}
+
+// WriteCSV implements CSVWriter (E16).
+func (r *FeedbackResult) WriteCSV(w io.Writer) error {
+	order := make([]string, len(Combos))
+	for i, c := range Combos {
+		order[i] = c.String()
+	}
+	return seriesCSV(w, r.Sizes, order, r.Series)
+}
+
+// WriteCSV implements CSVWriter (E17).
+func (r *DocSortedResult) WriteCSV(w io.Writer) error {
+	return seriesCSV(w, r.Sizes, DocSortedConfigs, r.Series)
+}
+
+// WriteCSV implements CSVWriter: per-topic best-case savings (E10).
+func (r *SummaryResult) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.PerTopic))
+	for _, ts := range r.PerTopic {
+		rows = append(rows, []string{
+			itoa(ts.TopicID), ts.Profile, itoa(ts.WorkingSet), ftoa(ts.BestPct),
+		})
+	}
+	return writeCSV(w, []string{"topic", "profile", "working_set", "best_savings_pct"}, rows)
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"bufir/internal/corpus"
+)
+
+// TestPaperScale validates the full WSJ-scale reproduction: Table 4's
+// exact band counts and the Table 5 savings ordering at 173k documents
+// and 167k terms. It takes ~20 s and ~2 GB, so it only runs when
+// BUFIR_PAPER_SCALE=1 is set:
+//
+//	BUFIR_PAPER_SCALE=1 go test ./internal/experiments -run TestPaperScale -v
+func TestPaperScale(t *testing.T) {
+	if os.Getenv("BUFIR_PAPER_SCALE") != "1" {
+		t.Skip("set BUFIR_PAPER_SCALE=1 to run the full-scale validation")
+	}
+	env, err := NewEnv(corpus.PaperConfig(1998))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t4, err := env.RunTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounts := []int{265, 1255, 4540, 160957}
+	for i, want := range wantCounts {
+		if t4.Rows[i].NumTerms != want {
+			t.Errorf("band %s: %d terms, want %d", t4.Rows[i].Group, t4.Rows[i].NumTerms, want)
+		}
+	}
+	// The paper counts 6,060 multi-page terms (3.6%); boosting adds a
+	// handful.
+	if t4.MultiPage < 6060 || t4.MultiPage > 6500 {
+		t.Errorf("multi-page terms = %d, want ≈6060", t4.MultiPage)
+	}
+
+	t5, err := env.RunTable5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: Q1 77.2, Q2 44.1, Q3 9.4, Q4 83.4 — assert the ordering
+	// and rough magnitudes.
+	q := make(map[string]float64, 4)
+	for _, row := range t5.Rows {
+		q[row.Alias] = row.SavingsPct
+	}
+	if !(q["QUERY4"] > q["QUERY1"]*0.8 && q["QUERY1"] > q["QUERY2"] && q["QUERY2"] > q["QUERY3"]) {
+		t.Errorf("savings ordering broken: %+v", q)
+	}
+	if q["QUERY1"] < 60 || q["QUERY3"] > 30 {
+		t.Errorf("savings magnitudes off the paper's: %+v", q)
+	}
+}

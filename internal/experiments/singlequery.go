@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"bufir/internal/eval"
+	"bufir/internal/metrics"
+)
+
+// ---------------------------------------------------------------------------
+// E1 — Figure 3 + §5.1.1 aggregates: disk savings of DF over FULL
+// evaluation, per query, as a function of total inverted-list size.
+// ---------------------------------------------------------------------------
+
+// Fig3Row is one point of Figure 3.
+type Fig3Row struct {
+	TopicID    int
+	Profile    string
+	Terms      int
+	TotalPages int
+	FullReads  int
+	DFReads    int
+	SavingsPct float64
+	FullAccums int
+	DFAccums   int
+	FullAP     float64
+	DFAP       float64
+}
+
+// Fig3Result holds the full Figure 3 series plus the §5.1.1 aggregates
+// (the paper reports ~2/3 disk-read savings, ~50x fewer accumulators,
+// negligible effectiveness loss).
+type Fig3Result struct {
+	Rows          []Fig3Row
+	AvgSavingsPct float64
+	AccumRatio    float64 // FULL accumulators / DF accumulators
+	AvgAPFull     float64
+	AvgAPDF       float64
+}
+
+// RunFig3 evaluates every topic cold (buffers flushed between queries)
+// under FULL and DF and reports the savings.
+func (e *Env) RunFig3() (*Fig3Result, error) {
+	out := &Fig3Result{}
+	var sumSav, sumFullAcc, sumDFAcc, sumAPFull, sumAPDF float64
+	for ti, q := range e.Queries {
+		full, err := e.EvaluateCold(eval.DF, q, eval.Params{CAdd: 0, CIns: 0, TopN: 20})
+		if err != nil {
+			return nil, err
+		}
+		df, err := e.EvaluateCold(eval.DF, q, e.Params())
+		if err != nil {
+			return nil, err
+		}
+		row := Fig3Row{
+			TopicID:    e.Col.Topics[ti].ID,
+			Profile:    e.Col.Topics[ti].Profile,
+			Terms:      len(q),
+			TotalPages: e.queryPages(q),
+			FullReads:  full.PagesRead,
+			DFReads:    df.PagesRead,
+			SavingsPct: metrics.SavingsPercent(int64(full.PagesRead), int64(df.PagesRead)),
+			FullAccums: full.Accumulators,
+			DFAccums:   df.Accumulators,
+			FullAP:     metrics.AveragePrecision(full.Top, e.Rel[ti]),
+			DFAP:       metrics.AveragePrecision(df.Top, e.Rel[ti]),
+		}
+		out.Rows = append(out.Rows, row)
+		sumSav += row.SavingsPct
+		sumFullAcc += float64(row.FullAccums)
+		sumDFAcc += float64(row.DFAccums)
+		sumAPFull += row.FullAP
+		sumAPDF += row.DFAP
+	}
+	n := float64(len(out.Rows))
+	if n > 0 {
+		out.AvgSavingsPct = sumSav / n
+		out.AvgAPFull = sumAPFull / n
+		out.AvgAPDF = sumAPDF / n
+		if sumDFAcc > 0 {
+			out.AccumRatio = sumFullAcc / sumDFAcc
+		}
+	}
+	return out, nil
+}
+
+// Format prints the Figure 3 series (sorted by total pages, as on the
+// paper's x-axis) and the aggregates.
+func (r *Fig3Result) Format(w io.Writer) {
+	fmt.Fprintln(w, "Figure 3: Disk savings of DF, as a function of total length of inverted lists")
+	fmt.Fprintln(w, "topic  profile    terms  pages  fullReads  dfReads  savings%")
+	rows := make([]Fig3Row, len(r.Rows))
+	copy(rows, r.Rows)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].TotalPages < rows[j].TotalPages })
+	for _, row := range rows {
+		fmt.Fprintf(w, "%5d  %-9s  %5d  %5d  %9d  %7d  %7.1f\n",
+			row.TopicID, row.Profile, row.Terms, row.TotalPages, row.FullReads, row.DFReads, row.SavingsPct)
+	}
+	fmt.Fprintf(w, "\nAverage savings: %.1f%%   accumulator reduction: %.1fx   avg AP full=%.3f df=%.3f\n",
+		r.AvgSavingsPct, r.AccumRatio, r.AvgAPFull, r.AvgAPDF)
+}
+
+// ---------------------------------------------------------------------------
+// E2 — Figure 4: evolution of S_max during processing of query terms.
+// ---------------------------------------------------------------------------
+
+// Fig4Series is one query's S_max trace: Smax[i] is the value of S_max
+// prior to processing the i-th term in processing order (plus a final
+// point with the terminal value).
+type Fig4Series struct {
+	TopicID int
+	Profile string
+	Smax    []float64
+}
+
+// Fig4Result holds the S_max traces of the representative queries.
+type Fig4Result struct {
+	Series []Fig4Series
+}
+
+// RunFig4 traces S_max for the first three engineered topics (QUERY1,
+// QUERY2, QUERY3 in the paper's figure) under DF, cold buffers.
+func (e *Env) RunFig4() (*Fig4Result, error) {
+	out := &Fig4Result{}
+	for ti := 0; ti < 3 && ti < len(e.Queries); ti++ {
+		res, err := e.EvaluateCold(eval.DF, e.Queries[ti], e.Params())
+		if err != nil {
+			return nil, err
+		}
+		s := Fig4Series{TopicID: e.Col.Topics[ti].ID, Profile: e.Col.Topics[ti].Profile}
+		for _, tr := range res.Trace {
+			s.Smax = append(s.Smax, tr.SmaxBefore)
+		}
+		s.Smax = append(s.Smax, res.Smax)
+		out.Series = append(out.Series, s)
+	}
+	return out, nil
+}
+
+// Format prints each trace as a term-indexed series.
+func (r *Fig4Result) Format(w io.Writer) {
+	fmt.Fprintln(w, "Figure 4: Evolution of S_max during processing of query terms")
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "QUERY%d (%s):", s.TopicID, s.Profile)
+		for i, v := range s.Smax {
+			if i%8 == 0 {
+				fmt.Fprintf(w, "\n  ")
+			}
+			fmt.Fprintf(w, "%2d:%-9.1f ", i+1, v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E3 — Table 4: characteristics of inverted lists, by idf band.
+// ---------------------------------------------------------------------------
+
+// Table4Row describes one band of the built index.
+type Table4Row struct {
+	Group    string
+	IdfMin   float64
+	IdfMax   float64
+	PagesMin int
+	PagesMax int
+	NumTerms int
+}
+
+// Table4Result is the index's list-length histogram.
+type Table4Result struct {
+	Rows       []Table4Row
+	TotalTerms int
+	TotalPages int
+	MultiPage  int // terms with more than one page of data
+}
+
+// RunTable4 groups the index's terms by their generating band and
+// reports idf and page ranges, mirroring Table 4.
+func (e *Env) RunTable4() (*Table4Result, error) {
+	nBands := len(e.Cfg.Bands)
+	rows := make([]Table4Row, nBands)
+	for i, b := range e.Cfg.Bands {
+		rows[i] = Table4Row{Group: b.Name, IdfMin: 1e18, IdfMax: -1e18, PagesMin: 1 << 30}
+	}
+	for t := range e.Idx.Terms {
+		tm := &e.Idx.Terms[t]
+		b := e.Col.BandOfTerm(t)
+		row := &rows[b]
+		row.NumTerms++
+		if tm.IDF < row.IdfMin {
+			row.IdfMin = tm.IDF
+		}
+		if tm.IDF > row.IdfMax {
+			row.IdfMax = tm.IDF
+		}
+		if tm.NumPages < row.PagesMin {
+			row.PagesMin = tm.NumPages
+		}
+		if tm.NumPages > row.PagesMax {
+			row.PagesMax = tm.NumPages
+		}
+	}
+	out := &Table4Result{Rows: rows, TotalTerms: len(e.Idx.Terms), TotalPages: e.Idx.NumPagesTotal}
+	for t := range e.Idx.Terms {
+		if e.Idx.Terms[t].NumPages > 1 {
+			out.MultiPage++
+		}
+	}
+	return out, nil
+}
+
+// Format prints the band table.
+func (r *Table4Result) Format(w io.Writer) {
+	fmt.Fprintln(w, "Table 4: Characteristics of inverted lists in the synthetic collection")
+	fmt.Fprintln(w, "group           idf range      pages     number")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s  %5.2f-%-5.2f  %4d-%-4d  %7d\n",
+			row.Group, row.IdfMin, row.IdfMax, row.PagesMin, row.PagesMax, row.NumTerms)
+	}
+	fmt.Fprintf(w, "total terms %d, total pages %d, multi-page terms %d (%.1f%%)\n",
+		r.TotalTerms, r.TotalPages, r.MultiPage, 100*float64(r.MultiPage)/float64(r.TotalTerms))
+}
+
+// ---------------------------------------------------------------------------
+// E4 — Table 5: details of the four investigated queries.
+// ---------------------------------------------------------------------------
+
+// Table5Row is one investigated query's summary.
+type Table5Row struct {
+	Alias      string
+	TopicID    int
+	Profile    string
+	Terms      int
+	Pages      int
+	Read       int
+	SavingsPct float64
+}
+
+// Table5Result covers the four engineered queries.
+type Table5Result struct {
+	Rows []Table5Row
+}
+
+// RunTable5 evaluates the four engineered topics cold under DF and
+// reports the Table 5 columns.
+func (e *Env) RunTable5() (*Table5Result, error) {
+	out := &Table5Result{}
+	for ti := 0; ti < 4 && ti < len(e.Queries); ti++ {
+		q := e.Queries[ti]
+		full, err := e.EvaluateCold(eval.DF, q, eval.Params{CAdd: 0, CIns: 0, TopN: 20})
+		if err != nil {
+			return nil, err
+		}
+		df, err := e.EvaluateCold(eval.DF, q, e.Params())
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Table5Row{
+			Alias:      fmt.Sprintf("QUERY%d", ti+1),
+			TopicID:    e.Col.Topics[ti].ID,
+			Profile:    e.Col.Topics[ti].Profile,
+			Terms:      len(q),
+			Pages:      e.queryPages(q),
+			Read:       df.PagesRead,
+			SavingsPct: metrics.SavingsPercent(int64(full.PagesRead), int64(df.PagesRead)),
+		})
+	}
+	return out, nil
+}
+
+// Format prints the table.
+func (r *Table5Result) Format(w io.Writer) {
+	fmt.Fprintln(w, "Table 5: Details of investigated queries")
+	fmt.Fprintln(w, "alias    profile    terms  pages  read   savings")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-7s  %-9s  %5d  %5d  %5d  %6.1f%%\n",
+			row.Alias, row.Profile, row.Terms, row.Pages, row.Read, row.SavingsPct)
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"bufir/internal/corpus"
+	"bufir/internal/refine"
+)
+
+// newTinyEnv builds a small deterministic environment shared by the
+// package's tests.
+func newTinyEnv(t testing.TB) *Env {
+	t.Helper()
+	env, err := NewEnv(corpus.TinyConfig(42))
+	if err != nil {
+		t.Fatalf("NewEnv: %v", err)
+	}
+	return env
+}
+
+func TestSmokeAllExperiments(t *testing.T) {
+	env := newTinyEnv(t)
+	var buf bytes.Buffer
+
+	fig3, err := env.RunFig3()
+	if err != nil {
+		t.Fatalf("fig3: %v", err)
+	}
+	fig3.Format(&buf)
+	if fig3.AvgSavingsPct <= 0 {
+		t.Errorf("expected positive average DF savings, got %.1f%%", fig3.AvgSavingsPct)
+	}
+
+	fig4, err := env.RunFig4()
+	if err != nil {
+		t.Fatalf("fig4: %v", err)
+	}
+	fig4.Format(&buf)
+
+	t4, err := env.RunTable4()
+	if err != nil {
+		t.Fatalf("table4: %v", err)
+	}
+	t4.Format(&buf)
+
+	t5, err := env.RunTable5()
+	if err != nil {
+		t.Fatalf("table5: %v", err)
+	}
+	t5.Format(&buf)
+
+	worked, err := env.RunWorkedExample()
+	if err != nil {
+		t.Fatalf("worked: %v", err)
+	}
+	worked.Format(&buf)
+	if worked.BAFReads > worked.DFReads {
+		t.Errorf("worked example: BAF read more (%d) than DF (%d) for the added term", worked.BAFReads, worked.DFReads)
+	}
+
+	t6, err := env.RunTable6()
+	if err != nil {
+		t.Fatalf("table6: %v", err)
+	}
+	t6.Format(&buf)
+
+	sweep, err := env.RunSweep("Figure 5", 0, refine.AddOnly, 6)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	sweep.Format(&buf)
+	if best := sweep.BestSavings("DF/LRU", "BAF/RAP"); best <= 0 {
+		t.Errorf("expected BAF/RAP to beat DF/LRU somewhere in the sweep, best savings %.1f%%", best)
+	}
+
+	t7, err := env.RunTable7()
+	if err != nil {
+		t.Fatalf("table7: %v", err)
+	}
+	t7.Format(&buf)
+
+	sum, err := env.RunSummary(refine.AddOnly, 4, 4)
+	if err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	sum.Format(&buf)
+
+	eff, err := env.RunEffectiveness(2, 3)
+	if err != nil {
+		t.Fatalf("effectiveness: %v", err)
+	}
+	eff.Format(&buf)
+
+	t.Logf("experiment outputs:\n%s", buf.String())
+}
+
+func TestMultiUserExperiment(t *testing.T) {
+	env := newTinyEnv(t)
+	mu, err := env.RunMultiUser(5)
+	if err != nil {
+		t.Fatalf("multiuser: %v", err)
+	}
+	var buf bytes.Buffer
+	mu.Format(&buf)
+	// At generous pool sizes, the shared pool must beat segmentation:
+	// users sharing a topic reuse each other's pages.
+	last := len(mu.Sizes) - 1
+	seg := mu.Series["segmented/RAP"][last]
+	shared := mu.Series["shared/RAP"][last]
+	if shared > seg {
+		t.Errorf("shared/RAP read %d > segmented/RAP %d at the largest pool", shared, seg)
+	}
+	t.Logf("multiuser:\n%s", buf.String())
+}
+
+func TestAblations(t *testing.T) {
+	env := newTinyEnv(t)
+	ab, err := env.RunAblations()
+	if err != nil {
+		t.Fatalf("ablations: %v", err)
+	}
+	var buf bytes.Buffer
+	ab.Format(&buf)
+	if ab.ForcedReads < ab.NormalReads {
+		t.Errorf("ForceFirstPage should never reduce reads: %d < %d", ab.ForcedReads, ab.NormalReads)
+	}
+	for _, pol := range []string{"LRU", "MRU"} {
+		if mae := ab.EstimateMAE[pol]; mae < 0 || mae > 3 {
+			t.Errorf("d_t estimate MAE under %s = %.2f, expected a small non-negative value", pol, mae)
+		}
+	}
+	t.Logf("ablations:\n%s", buf.String())
+}

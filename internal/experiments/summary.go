@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"bufir/internal/eval"
+	"bufir/internal/metrics"
+	"bufir/internal/refine"
+)
+
+// ---------------------------------------------------------------------------
+// E10 — §5.2.1 aggregate: best-case savings of BAF/RAP over DF/LRU
+// across all ADD-ONLY refinement sequences (the paper reports 46–90%
+// with mean and median around 75%, and 74 of 100 sequences above 70%).
+// ---------------------------------------------------------------------------
+
+// TopicSavings is one sequence's best-case improvement.
+type TopicSavings struct {
+	TopicID    int
+	Profile    string
+	WorkingSet int
+	BestPct    float64
+}
+
+// SummaryResult is the distribution of best-case savings.
+type SummaryResult struct {
+	Kind        refine.Kind
+	PerTopic    []TopicSavings
+	Min, Max    float64
+	Mean        float64
+	Median      float64
+	CountOver70 int
+}
+
+// RunSummary computes, for the first numTopics topics (all if <= 0),
+// the best-case percentage savings of BAF/RAP over DF/LRU across a
+// buffer-size sweep of the ADD-ONLY (or ADD-DROP) sequence.
+func (e *Env) RunSummary(kind refine.Kind, numTopics, sweepPoints int) (*SummaryResult, error) {
+	if numTopics <= 0 || numTopics > len(e.Queries) {
+		numTopics = len(e.Queries)
+	}
+	out := &SummaryResult{Kind: kind, Min: 101}
+	for ti := 0; ti < numTopics; ti++ {
+		seq, err := e.Sequence(ti, kind)
+		if err != nil {
+			return nil, err
+		}
+		ws := e.WorkingSetPages(seq)
+		best := 0.0
+		for _, size := range SweepSizes(ws, sweepPoints) {
+			base, err := e.RunSequence(seq, eval.DF, "LRU", size, e.Params(), nil)
+			if err != nil {
+				return nil, err
+			}
+			opt, err := e.RunSequence(seq, eval.BAF, "RAP", size, e.Params(), nil)
+			if err != nil {
+				return nil, err
+			}
+			if base.TotalReads > 0 {
+				s := 100 * float64(base.TotalReads-opt.TotalReads) / float64(base.TotalReads)
+				if s > best {
+					best = s
+				}
+			}
+		}
+		out.PerTopic = append(out.PerTopic, TopicSavings{
+			TopicID:    e.Col.Topics[ti].ID,
+			Profile:    e.Col.Topics[ti].Profile,
+			WorkingSet: ws,
+			BestPct:    best,
+		})
+		out.Mean += best
+		if best < out.Min {
+			out.Min = best
+		}
+		if best > out.Max {
+			out.Max = best
+		}
+		if best > 70 {
+			out.CountOver70++
+		}
+	}
+	if len(out.PerTopic) > 0 {
+		out.Mean /= float64(len(out.PerTopic))
+		vals := make([]float64, len(out.PerTopic))
+		for i, ts := range out.PerTopic {
+			vals[i] = ts.BestPct
+		}
+		sort.Float64s(vals)
+		out.Median = vals[len(vals)/2]
+	}
+	return out, nil
+}
+
+// Format prints the distribution and the per-topic detail.
+func (r *SummaryResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "Best-case savings of BAF/RAP over DF/LRU, %s sequences (%d topics)\n", r.Kind, len(r.PerTopic))
+	fmt.Fprintf(w, "min %.1f%%  max %.1f%%  mean %.1f%%  median %.1f%%  over-70%%: %d/%d\n\n",
+		r.Min, r.Max, r.Mean, r.Median, r.CountOver70, len(r.PerTopic))
+	fmt.Fprintln(w, "topic  profile    workingSet  best%")
+	for _, ts := range r.PerTopic {
+		fmt.Fprintf(w, "%5d  %-9s  %10d  %5.1f\n", ts.TopicID, ts.Profile, ts.WorkingSet, ts.BestPct)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E11 — §5.2 effectiveness and §5.2.3 accumulators: BAF's retrieval
+// effectiveness stays within 5% of DF's in the vast majority of runs,
+// and BAF/LRU roughly doubles the average accumulator count.
+// ---------------------------------------------------------------------------
+
+// EffectivenessResult aggregates the effectiveness comparison.
+type EffectivenessResult struct {
+	Runs int // sequence x buffer-size combinations per policy
+	// Within5Pct[policy] counts runs whose mean average precision under
+	// BAF/policy is within 5% (relative) of DF's.
+	Within5Pct map[string]int
+	// MeanAPDF / MeanAPBAF are grand means over all runs.
+	MeanAPDF  float64
+	MeanAPBAF map[string]float64
+	// Accumulator comparison (per-refinement averages).
+	AvgAccumsDF     float64
+	AvgAccumsBAFLRU float64
+}
+
+// RunEffectiveness compares DF and BAF effectiveness over the first
+// numTopics ADD-ONLY sequences across a buffer sweep.
+func (e *Env) RunEffectiveness(numTopics, sweepPoints int) (*EffectivenessResult, error) {
+	if numTopics <= 0 || numTopics > len(e.Queries) {
+		numTopics = len(e.Queries)
+	}
+	out := &EffectivenessResult{
+		Within5Pct: make(map[string]int),
+		MeanAPBAF:  make(map[string]float64),
+	}
+	var sumAPDF float64
+	sumAPBAF := make(map[string]float64)
+	var dfAccums, bafLRUAccums, accumRuns float64
+
+	for ti := 0; ti < numTopics; ti++ {
+		seq, err := e.Sequence(ti, refine.AddOnly)
+		if err != nil {
+			return nil, err
+		}
+		rel := e.Rel[ti]
+		ws := e.WorkingSetPages(seq)
+		for _, size := range SweepSizes(ws, sweepPoints) {
+			base, err := e.RunSequence(seq, eval.DF, "LRU", size, e.Params(), rel)
+			if err != nil {
+				return nil, err
+			}
+			apDF := meanAP(base)
+			sumAPDF += apDF
+			dfAccums += meanAccums(base)
+			accumRuns++
+			out.Runs++
+			for _, policy := range Policies {
+				opt, err := e.RunSequence(seq, eval.BAF, policy, size, e.Params(), rel)
+				if err != nil {
+					return nil, err
+				}
+				apBAF := meanAP(opt)
+				sumAPBAF[policy] += apBAF
+				if metrics.RelativeDifference(apDF, apBAF) <= 0.05 {
+					out.Within5Pct[policy]++
+				}
+				if policy == "LRU" {
+					bafLRUAccums += meanAccums(opt)
+				}
+			}
+		}
+	}
+	if out.Runs > 0 {
+		out.MeanAPDF = sumAPDF / float64(out.Runs)
+		for _, policy := range Policies {
+			out.MeanAPBAF[policy] = sumAPBAF[policy] / float64(out.Runs)
+		}
+	}
+	if accumRuns > 0 {
+		out.AvgAccumsDF = dfAccums / accumRuns
+		out.AvgAccumsBAFLRU = bafLRUAccums / accumRuns
+	}
+	return out, nil
+}
+
+func meanAP(sr *SequenceResult) float64 {
+	if len(sr.PerRef) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range sr.PerRef {
+		sum += r.AvgPrecision
+	}
+	return sum / float64(len(sr.PerRef))
+}
+
+func meanAccums(sr *SequenceResult) float64 {
+	if len(sr.PerRef) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range sr.PerRef {
+		sum += float64(r.Accumulators)
+	}
+	return sum / float64(len(sr.PerRef))
+}
+
+// Format prints the effectiveness summary.
+func (r *EffectivenessResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "Effectiveness: BAF vs DF over %d runs (mean AP, DF/LRU reference %.4f)\n", r.Runs, r.MeanAPDF)
+	for _, policy := range Policies {
+		pct := 0.0
+		if r.Runs > 0 {
+			pct = 100 * float64(r.Within5Pct[policy]) / float64(r.Runs)
+		}
+		fmt.Fprintf(w, "  BAF/%-3s  mean AP %.4f   within 5%% of DF in %.1f%% of runs\n",
+			policy, r.MeanAPBAF[policy], pct)
+	}
+	fmt.Fprintf(w, "Accumulators (avg per refinement): DF %.0f, BAF/LRU %.0f (%.2fx)\n",
+		r.AvgAccumsDF, r.AvgAccumsBAFLRU, safeRatio(r.AvgAccumsBAFLRU, r.AvgAccumsDF))
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bufir/internal/eval"
+	"bufir/internal/refine"
+)
+
+// Combo is one (algorithm, replacement policy) pairing of the study.
+type Combo struct {
+	Algo   eval.Algorithm
+	Policy string
+}
+
+// String renders the paper's "DF/LRU" style label.
+func (c Combo) String() string { return c.Algo.String() + "/" + c.Policy }
+
+// Combos enumerates the six studied combinations in the paper's
+// presentation order.
+var Combos = []Combo{
+	{eval.DF, "LRU"}, {eval.DF, "MRU"}, {eval.DF, "RAP"},
+	{eval.BAF, "LRU"}, {eval.BAF, "MRU"}, {eval.BAF, "RAP"},
+}
+
+// ---------------------------------------------------------------------------
+// E7/E9 — Figures 5-8: total disk reads of a refinement sequence as a
+// function of buffer size, for all six algorithm/policy combinations.
+// ---------------------------------------------------------------------------
+
+// SweepResult is one figure's data: per-combination series of total
+// disk reads over the buffer-size sweep.
+type SweepResult struct {
+	Figure     string
+	TopicID    int
+	Kind       refine.Kind
+	WorkingSet int
+	Sizes      []int
+	// Series[combo.String()][i] is the sequence's total disk reads
+	// with buffer size Sizes[i].
+	Series map[string][]int
+}
+
+// RunSweep runs the refinement sequence of topic ti under the given
+// workload kind for every combination across a buffer-size sweep with
+// the given number of points. The buffer pool is cleared before each
+// sequence (a fresh pool is used per run), matching §5.2.1.
+func (e *Env) RunSweep(figure string, ti int, kind refine.Kind, points int) (*SweepResult, error) {
+	seq, err := e.Sequence(ti, kind)
+	if err != nil {
+		return nil, err
+	}
+	ws := e.WorkingSetPages(seq)
+	out := &SweepResult{
+		Figure:     figure,
+		TopicID:    seq.TopicID,
+		Kind:       kind,
+		WorkingSet: ws,
+		Sizes:      SweepSizes(ws, points),
+		Series:     make(map[string][]int, len(Combos)),
+	}
+	for _, combo := range Combos {
+		series := make([]int, 0, len(out.Sizes))
+		for _, size := range out.Sizes {
+			sr, err := e.RunSequence(seq, combo.Algo, combo.Policy, size, e.Params(), nil)
+			if err != nil {
+				return nil, err
+			}
+			series = append(series, sr.TotalReads)
+		}
+		out.Series[combo.String()] = series
+	}
+	return out, nil
+}
+
+// Format prints the figure's series as a table: one row per buffer
+// size, one column per combination.
+func (r *SweepResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "%s: total disk reads, %s-QUERY%d sequence, varying buffer size (working set %d pages)\n",
+		r.Figure, r.Kind, r.TopicID, r.WorkingSet)
+	fmt.Fprintf(w, "%8s", "buffers")
+	for _, c := range Combos {
+		fmt.Fprintf(w, "  %8s", c)
+	}
+	fmt.Fprintln(w)
+	for i, size := range r.Sizes {
+		fmt.Fprintf(w, "%8d", size)
+		for _, c := range Combos {
+			fmt.Fprintf(w, "  %8d", r.Series[c.String()][i])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// BestSavings returns the maximum percentage savings of `combo`
+// relative to `base` across the sweep (the paper's "best case"
+// comparison in §5.2.1).
+func (r *SweepResult) BestSavings(base, combo string) float64 {
+	best := 0.0
+	bs, cs := r.Series[base], r.Series[combo]
+	for i := range bs {
+		if bs[i] == 0 {
+			continue
+		}
+		s := 100 * float64(bs[i]-cs[i]) / float64(bs[i])
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// E8 — Table 7: disk reads for the last refinement, at the buffer size
+// that yields the most improvement, plus the "collapsed" variant where
+// all refinements but the last run as a single large query.
+// ---------------------------------------------------------------------------
+
+// Table7Block is one sequence's last-refinement read counts by combo.
+type Table7Block struct {
+	Label      string
+	TopicID    int
+	BufferSize int
+	// Reads[combo.String()] is the last refinement's disk reads.
+	Reads map[string]int
+}
+
+// Table7Result holds the Table 7 blocks and the collapsed variant.
+type Table7Result struct {
+	Blocks    []Table7Block
+	Collapsed *Table7Block
+}
+
+// RunTable7 measures last-refinement reads for the ADD-ONLY sequences
+// of the QUERY1 and QUERY2 analogues at the buffer size that yields
+// the most improvement (the paper hand-picked 125 and 250 pages —
+// sizes inside the filtered footprint where replacement pressure is
+// real). We size the pool at half the sequence's *footprint*: the
+// distinct pages the filtered evaluation actually touches, measured
+// by one run against ample buffers.
+func (e *Env) RunTable7() (*Table7Result, error) {
+	out := &Table7Result{}
+	for ti := 0; ti < 2; ti++ {
+		seq, err := e.Sequence(ti, refine.AddOnly)
+		if err != nil {
+			return nil, err
+		}
+		size, err := e.footprintSize(seq)
+		if err != nil {
+			return nil, err
+		}
+		block := Table7Block{
+			Label:      fmt.Sprintf("ADD-ONLY-QUERY%d", seq.TopicID),
+			TopicID:    seq.TopicID,
+			BufferSize: size,
+			Reads:      make(map[string]int, len(Combos)),
+		}
+		for _, combo := range Combos {
+			sr, err := e.RunSequence(seq, combo.Algo, combo.Policy, size, e.Params(), nil)
+			if err != nil {
+				return nil, err
+			}
+			block.Reads[combo.String()] = sr.PerRef[len(sr.PerRef)-1].Reads
+		}
+		out.Blocks = append(out.Blocks, block)
+	}
+
+	// Collapsed ADD-ONLY-QUERY2: one large query holding everything
+	// but the last group, then the final refinement.
+	seq, err := e.Sequence(1, refine.AddOnly)
+	if err != nil {
+		return nil, err
+	}
+	n := len(seq.Refinements)
+	if n >= 2 {
+		collapsed := &refine.Sequence{
+			TopicID:     seq.TopicID,
+			Kind:        seq.Kind,
+			Ranked:      seq.Ranked,
+			Refinements: []eval.Query{seq.Refinements[n-2], seq.Refinements[n-1]},
+		}
+		size, err := e.footprintSize(seq)
+		if err != nil {
+			return nil, err
+		}
+		block := &Table7Block{
+			Label:      fmt.Sprintf("collapsed ADD-ONLY-QUERY%d", seq.TopicID),
+			TopicID:    seq.TopicID,
+			BufferSize: size,
+			Reads:      make(map[string]int, len(Combos)),
+		}
+		for _, combo := range Combos {
+			sr, err := e.RunSequence(collapsed, combo.Algo, combo.Policy, size, e.Params(), nil)
+			if err != nil {
+				return nil, err
+			}
+			block.Reads[combo.String()] = sr.PerRef[len(sr.PerRef)-1].Reads
+		}
+		out.Collapsed = block
+	}
+	return out, nil
+}
+
+// footprintSize returns half the sequence's filtered footprint: the
+// number of distinct pages a DF run of the whole sequence touches
+// when nothing is ever evicted.
+func (e *Env) footprintSize(seq *refine.Sequence) (int, error) {
+	sr, err := e.RunSequence(seq, eval.DF, "LRU", e.WorkingSetPages(seq)+1, e.Params(), nil)
+	if err != nil {
+		return 0, err
+	}
+	size := sr.TotalReads / 2
+	if size < 1 {
+		size = 1
+	}
+	return size, nil
+}
+
+// Format prints Table 7.
+func (r *Table7Result) Format(w io.Writer) {
+	fmt.Fprintln(w, "Table 7: Disk reads for the last refinement")
+	fmt.Fprintf(w, "%-26s  %8s", "sequence", "buffers")
+	for _, c := range Combos {
+		fmt.Fprintf(w, "  %8s", c)
+	}
+	fmt.Fprintln(w)
+	printBlock := func(b Table7Block) {
+		fmt.Fprintf(w, "%-26s  %8d", b.Label, b.BufferSize)
+		for _, c := range Combos {
+			fmt.Fprintf(w, "  %8d", b.Reads[c.String()])
+		}
+		fmt.Fprintln(w)
+	}
+	for _, b := range r.Blocks {
+		printBlock(b)
+	}
+	if r.Collapsed != nil {
+		printBlock(*r.Collapsed)
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bufir/internal/eval"
+	"bufir/internal/metrics"
+	"bufir/internal/refine"
+)
+
+// ---------------------------------------------------------------------------
+// E18 (cautionary tale) — §3.2 recounts the legend that some Web
+// search engines use only buffer-resident inverted lists and "simply
+// do not access" the rest: "very good response time ... but
+// unfortunately removes all guarantees on the quality of the results",
+// with the worst case that a refined query returns the exact same
+// answer, ignoring the added term. This experiment quantifies the
+// trade against DF and BAF on ADD-ONLY sequences.
+// ---------------------------------------------------------------------------
+
+// WebLegendResult quantifies the legend's speed/quality trade.
+type WebLegendResult struct {
+	Topics     int
+	BufferSize int
+	// Reads per strategy, summed over all sequences.
+	Reads map[string]int
+	// MeanAP per strategy.
+	MeanAP map[string]float64
+	// IgnoredTerms counts term evaluations the WEB strategy never
+	// accessed; IgnoredRefinements counts refinements where at least
+	// one newly added term was ignored (the paper's worst case).
+	IgnoredTerms       int
+	IgnoredRefinements int
+	TotalRefinements   int
+}
+
+// WebLegendStrategies are compared in presentation order.
+var WebLegendStrategies = []string{"DF", "BAF", "WEB"}
+
+// RunWebLegend runs ADD-ONLY sequences for the first numTopics topics
+// under DF, BAF and the WebLegend strategy (all over RAP pools sized
+// at half the working set).
+func (e *Env) RunWebLegend(numTopics int) (*WebLegendResult, error) {
+	if numTopics <= 0 || numTopics > len(e.Queries) {
+		numTopics = 8
+		if numTopics > len(e.Queries) {
+			numTopics = len(e.Queries)
+		}
+	}
+	out := &WebLegendResult{
+		Topics: numTopics,
+		Reads:  make(map[string]int),
+		MeanAP: make(map[string]float64),
+	}
+	apRuns := 0
+	for ti := 0; ti < numTopics; ti++ {
+		seq, err := e.Sequence(ti, refine.AddOnly)
+		if err != nil {
+			return nil, err
+		}
+		size := e.WorkingSetPages(seq) / 2
+		if size < 1 {
+			size = 1
+		}
+		out.BufferSize = size
+		rel := e.Rel[ti]
+		for _, name := range WebLegendStrategies {
+			algo := map[string]eval.Algorithm{
+				"DF": eval.DF, "BAF": eval.BAF, "WEB": eval.WebLegend,
+			}[name]
+			ev, _, err := e.newEvaluator(size, "RAP", e.Params())
+			if err != nil {
+				return nil, err
+			}
+			for ri, q := range seq.Refinements {
+				res, err := ev.Evaluate(algo, q)
+				if err != nil {
+					return nil, err
+				}
+				out.Reads[name] += res.PagesRead
+				out.MeanAP[name] += metrics.AveragePrecision(res.Top, rel)
+				if name != "WEB" {
+					continue
+				}
+				out.TotalRefinements++
+				// ADD-ONLY refinements extend their predecessor, so
+				// the newly added terms are the suffix beyond the
+				// previous refinement's length.
+				newStart := 0
+				if ri > 0 {
+					newStart = len(seq.Refinements[ri-1])
+				}
+				ignoredNew := false
+				for _, tr := range res.Trace {
+					if !tr.Skipped || tr.FAdd != 0 {
+						continue // threshold skips are DF semantics, not ignores
+					}
+					out.IgnoredTerms++
+					for _, qt := range q[newStart:] {
+						if qt.Term == tr.Term {
+							ignoredNew = true
+						}
+					}
+				}
+				if ignoredNew {
+					out.IgnoredRefinements++
+				}
+			}
+		}
+		apRuns += len(seq.Refinements)
+	}
+	for name := range out.MeanAP {
+		out.MeanAP[name] /= float64(apRuns)
+	}
+	return out, nil
+}
+
+// Format prints the trade-off summary.
+func (r *WebLegendResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "Web-search legend (§3.2): buffered-lists-only evaluation, %d ADD-ONLY sequences\n", r.Topics)
+	fmt.Fprintf(w, "%8s  %10s  %8s\n", "strategy", "disk reads", "mean AP")
+	for _, name := range WebLegendStrategies {
+		fmt.Fprintf(w, "%8s  %10d  %8.4f\n", name, r.Reads[name], r.MeanAP[name])
+	}
+	fmt.Fprintf(w, "WEB ignored %d term evaluations; %d/%d refinements had a newly added term ignored outright\n",
+		r.IgnoredTerms, r.IgnoredRefinements, r.TotalRefinements)
+	fmt.Fprintln(w, "(the paper's point: the legend is fast but discards user intent;")
+	fmt.Fprintln(w, " BAF gets most of the speed while honoring every term)")
+}

@@ -1,0 +1,225 @@
+// Package positional implements the positional index and proximity
+// operators the paper explicitly defers ("In many systems, additional
+// operators, such as proximity operators, which restrict the location
+// of terms in the documents, are provided. For simplicity we have
+// left such operators out of this work; adding support for them is
+// one avenue for future work" — §2.1, footnote 2).
+//
+// The index records, per (term, document), the ordered token positions
+// of the term after the lexical pipeline (stop-words removed, stems
+// applied), enabling:
+//
+//	Phrase(t1 t2 ... tn)  documents containing the terms at strictly
+//	                      consecutive positions;
+//	Near(t1, t2, k)       documents where some occurrence of t1 and t2
+//	                      lie within k positions of each other.
+package positional
+
+import (
+	"fmt"
+	"sort"
+
+	"bufir/internal/postings"
+	"bufir/internal/textproc"
+)
+
+// Posting is one document's occurrence list for a term.
+type Posting struct {
+	Doc postings.DocID
+	// Positions are 0-based token offsets after the lexical pipeline,
+	// ascending.
+	Positions []int32
+}
+
+// Index is a positional inverted index. It is immutable after Build.
+type Index struct {
+	// NumDocs is the collection size.
+	NumDocs int
+	// terms maps stemmed term -> doc-sorted postings.
+	terms map[string][]Posting
+	// pipe normalizes query terms identically to the documents.
+	pipe *textproc.Pipeline
+}
+
+// Build indexes the document texts through the given pipeline (nil
+// selects a pipeline without stop-words). Document IDs are assigned
+// in input order, matching docindex.Build over the same slice.
+func Build(texts []string, pipe *textproc.Pipeline) (*Index, error) {
+	if len(texts) == 0 {
+		return nil, fmt.Errorf("positional: no documents")
+	}
+	if pipe == nil {
+		pipe = textproc.NewPipeline(nil)
+	}
+	ix := &Index{
+		NumDocs: len(texts),
+		terms:   make(map[string][]Posting),
+		pipe:    pipe,
+	}
+	for d, text := range texts {
+		positionsOf := make(map[string][]int32)
+		for pos, term := range pipe.Terms(text) {
+			positionsOf[term] = append(positionsOf[term], int32(pos))
+		}
+		// Deterministic term order per document.
+		terms := make([]string, 0, len(positionsOf))
+		for t := range positionsOf {
+			terms = append(terms, t)
+		}
+		sort.Strings(terms)
+		for _, t := range terms {
+			ix.terms[t] = append(ix.terms[t], Posting{
+				Doc:       postings.DocID(d),
+				Positions: positionsOf[t],
+			})
+		}
+	}
+	return ix, nil
+}
+
+// NumTerms returns the vocabulary size.
+func (ix *Index) NumTerms() int { return len(ix.terms) }
+
+// Postings returns the positional postings of a raw surface term
+// (normalized through the pipeline), or nil if absent.
+func (ix *Index) Postings(term string) []Posting {
+	norm := ix.normalize(term)
+	if norm == "" {
+		return nil
+	}
+	return ix.terms[norm]
+}
+
+// normalize runs one word through the pipeline; stop-words and empty
+// results normalize to "".
+func (ix *Index) normalize(term string) string {
+	ts := ix.pipe.Terms(term)
+	if len(ts) != 1 {
+		return ""
+	}
+	return ts[0]
+}
+
+// Phrase returns the documents containing the given terms at strictly
+// consecutive positions, in ascending DocID order. Terms pass through
+// the pipeline; a phrase containing a stop-word or unknown term
+// matches nothing (boolean-style strictness — the caller can relax).
+func (ix *Index) Phrase(terms []string) ([]postings.DocID, error) {
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("positional: empty phrase")
+	}
+	norm := make([]string, len(terms))
+	for i, t := range terms {
+		norm[i] = ix.normalize(t)
+		if norm[i] == "" {
+			return nil, nil // stop-word or unindexable: no strict match
+		}
+		if _, ok := ix.terms[norm[i]]; !ok {
+			return nil, nil
+		}
+	}
+	// Start from the first term's candidate positions, then for each
+	// subsequent term keep positions p+1 that exist in its list.
+	cand := map[postings.DocID][]int32{}
+	for _, p := range ix.terms[norm[0]] {
+		cand[p.Doc] = p.Positions
+	}
+	for _, t := range norm[1:] {
+		next := map[postings.DocID][]int32{}
+		for _, p := range ix.terms[t] {
+			prev, ok := cand[p.Doc]
+			if !ok {
+				continue
+			}
+			if matched := advance(prev, p.Positions); len(matched) > 0 {
+				next[p.Doc] = matched
+			}
+		}
+		cand = next
+		if len(cand) == 0 {
+			break
+		}
+	}
+	out := make([]postings.DocID, 0, len(cand))
+	for d := range cand {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// advance returns, for each position p in prev such that p+1 occurs in
+// cur, the value p+1 (the phrase-extension positions). Both inputs are
+// ascending.
+func advance(prev, cur []int32) []int32 {
+	out := make([]int32, 0, min(len(prev), len(cur)))
+	j := 0
+	for _, p := range prev {
+		want := p + 1
+		for j < len(cur) && cur[j] < want {
+			j++
+		}
+		if j < len(cur) && cur[j] == want {
+			out = append(out, want)
+		}
+	}
+	return out
+}
+
+// Near returns documents where an occurrence of a and one of b lie
+// within k positions of each other (k >= 1), ascending DocID order.
+func (ix *Index) Near(a, b string, k int) ([]postings.DocID, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("positional: k %d < 1", k)
+	}
+	na, nb := ix.normalize(a), ix.normalize(b)
+	if na == "" || nb == "" {
+		return nil, nil
+	}
+	pa, pb := ix.terms[na], ix.terms[nb]
+	out := []postings.DocID{}
+	i, j := 0, 0
+	for i < len(pa) && j < len(pb) {
+		switch {
+		case pa[i].Doc < pb[j].Doc:
+			i++
+		case pa[i].Doc > pb[j].Doc:
+			j++
+		default:
+			if withinK(pa[i].Positions, pb[j].Positions, int32(k)) {
+				out = append(out, pa[i].Doc)
+			}
+			i++
+			j++
+		}
+	}
+	return out, nil
+}
+
+// withinK reports whether any pair (x from a, y from b) has |x-y| <= k.
+// Both inputs ascending; linear merge.
+func withinK(a, b []int32, k int32) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		d := a[i] - b[j]
+		if d < 0 {
+			d = -d
+		}
+		if d <= k {
+			return true
+		}
+		if a[i] < b[j] {
+			i++
+		} else {
+			j++
+		}
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

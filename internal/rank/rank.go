@@ -1,0 +1,100 @@
+// Package rank implements the cosine-similarity ranking model of §2.2:
+// term weights w_{d,t} = f_{d,t}·idf_t (Equation 3), idf_t =
+// log2(N/f_t) (Equation 4), document vector lengths W_d (Equation 2),
+// and selection of the n highest-scoring documents.
+package rank
+
+import (
+	"container/heap"
+	"math"
+
+	"bufir/internal/postings"
+)
+
+// IDF computes idf_t = log2(N / f_t).
+func IDF(numDocs, df int) float64 {
+	return math.Log2(float64(numDocs) / float64(df))
+}
+
+// DocWeight computes w_{d,t} = f_{d,t} · idf_t.
+func DocWeight(fdt int32, idf float64) float64 {
+	return float64(fdt) * idf
+}
+
+// QueryWeight computes w_{q,t} = f_{q,t} · idf_t. (Terms may have
+// frequencies above one in queries, e.g. due to relevance feedback.)
+func QueryWeight(fqt int, idf float64) float64 {
+	return float64(fqt) * idf
+}
+
+// PartialSimilarity is the product w_{d,t}·w_{q,t} = f_{d,t}·f_{q,t}·idf_t²,
+// the amount a single (d, f_dt) entry adds to document d's accumulator.
+func PartialSimilarity(fdt int32, fqt int, idf float64) float64 {
+	return float64(fdt) * float64(fqt) * idf * idf
+}
+
+// ScoredDoc is a document with its final (normalized) relevance score.
+type ScoredDoc struct {
+	Doc   postings.DocID
+	Score float64
+}
+
+// TopN returns the n highest-scoring documents among the accumulators,
+// normalizing each accumulator by the document's vector length W_d
+// (Figure 1, steps 5–6). Results are ordered by score descending, with
+// DocID ascending as a deterministic tie-break. Documents with
+// zero-length vectors are skipped (they cannot have accumulators in a
+// well-formed index, but the guard keeps the function total).
+func TopN(acc map[postings.DocID]float64, docLen []float64, n int) []ScoredDoc {
+	if n <= 0 || len(acc) == 0 {
+		return nil
+	}
+	h := make(topHeap, 0, n+1)
+	for d, a := range acc {
+		wd := docLen[d]
+		if wd <= 0 {
+			continue
+		}
+		sd := ScoredDoc{Doc: d, Score: a / wd}
+		if len(h) < n {
+			heap.Push(&h, sd)
+			continue
+		}
+		if lessScored(h[0], sd) {
+			h[0] = sd
+			heap.Fix(&h, 0)
+		}
+	}
+	// Drain the min-heap into descending order.
+	out := make([]ScoredDoc, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(ScoredDoc)
+	}
+	return out
+}
+
+// lessScored orders a strictly below b: lower score first, higher
+// DocID first among equal scores (so that the heap keeps the
+// best-scoring, lowest-DocID documents).
+func lessScored(a, b ScoredDoc) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Doc > b.Doc
+}
+
+// topHeap is a min-heap of ScoredDocs: the root is the weakest kept
+// result, so a stronger candidate replaces it in O(log n).
+type topHeap []ScoredDoc
+
+func (h topHeap) Len() int           { return len(h) }
+func (h topHeap) Less(i, j int) bool { return lessScored(h[i], h[j]) }
+func (h topHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *topHeap) Push(x any)        { *h = append(*h, x.(ScoredDoc)) }
+func (h *topHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

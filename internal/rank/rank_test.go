@@ -1,0 +1,161 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"bufir/internal/postings"
+)
+
+func TestIDF(t *testing.T) {
+	if got := IDF(8, 2); math.Abs(got-2) > 1e-12 {
+		t.Errorf("IDF(8,2) = %g, want 2", got)
+	}
+	if got := IDF(100, 100); got != 0 {
+		t.Errorf("IDF(100,100) = %g, want 0", got)
+	}
+	if got := IDF(1024, 1); math.Abs(got-10) > 1e-12 {
+		t.Errorf("IDF(1024,1) = %g, want 10", got)
+	}
+}
+
+func TestWeightsAndPartialSimilarity(t *testing.T) {
+	idf := 3.0
+	if got := DocWeight(4, idf); got != 12 {
+		t.Errorf("DocWeight = %g", got)
+	}
+	if got := QueryWeight(5, idf); got != 15 {
+		t.Errorf("QueryWeight = %g", got)
+	}
+	// partial similarity = w_dt * w_qt = f_dt * f_qt * idf^2
+	if got := PartialSimilarity(4, 5, idf); got != 180 {
+		t.Errorf("PartialSimilarity = %g", got)
+	}
+	if got := DocWeight(4, idf) * QueryWeight(5, idf); got != PartialSimilarity(4, 5, idf) {
+		t.Error("PartialSimilarity must equal w_dt*w_qt")
+	}
+}
+
+func TestTopNBasic(t *testing.T) {
+	acc := map[postings.DocID]float64{0: 10, 1: 30, 2: 20}
+	docLen := []float64{1, 1, 1}
+	got := TopN(acc, docLen, 2)
+	if len(got) != 2 || got[0].Doc != 1 || got[1].Doc != 2 {
+		t.Errorf("TopN = %v", got)
+	}
+}
+
+func TestTopNNormalizesByDocLen(t *testing.T) {
+	// Doc 0 has the larger accumulator but a much longer vector.
+	acc := map[postings.DocID]float64{0: 100, 1: 60}
+	docLen := []float64{10, 2} // scores: 10 vs 30
+	got := TopN(acc, docLen, 2)
+	if got[0].Doc != 1 || math.Abs(got[0].Score-30) > 1e-12 {
+		t.Errorf("TopN normalization wrong: %v", got)
+	}
+}
+
+func TestTopNTieBreaksByDocID(t *testing.T) {
+	acc := map[postings.DocID]float64{3: 5, 1: 5, 2: 5}
+	docLen := []float64{1, 1, 1, 1}
+	got := TopN(acc, docLen, 2)
+	if got[0].Doc != 1 || got[1].Doc != 2 {
+		t.Errorf("tie-break wrong: %v", got)
+	}
+}
+
+func TestTopNSkipsZeroLengthDocs(t *testing.T) {
+	acc := map[postings.DocID]float64{0: 5, 1: 5}
+	docLen := []float64{0, 1}
+	got := TopN(acc, docLen, 5)
+	if len(got) != 1 || got[0].Doc != 1 {
+		t.Errorf("zero-length doc not skipped: %v", got)
+	}
+}
+
+func TestTopNEdgeCases(t *testing.T) {
+	if got := TopN(nil, nil, 5); got != nil {
+		t.Errorf("empty acc: %v", got)
+	}
+	acc := map[postings.DocID]float64{0: 1}
+	if got := TopN(acc, []float64{1}, 0); got != nil {
+		t.Errorf("n=0: %v", got)
+	}
+	if got := TopN(acc, []float64{1}, 10); len(got) != 1 {
+		t.Errorf("n beyond size: %v", got)
+	}
+}
+
+// TestTopNMatchesFullSort: against random inputs, the heap-based
+// selection must agree with sorting everything.
+func TestTopNMatchesFullSort(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 200; iter++ {
+		numDocs := 1 + r.Intn(200)
+		docLen := make([]float64, numDocs)
+		for i := range docLen {
+			docLen[i] = 0.5 + r.Float64()*9
+		}
+		acc := make(map[postings.DocID]float64)
+		for i := 0; i < r.Intn(numDocs+1); i++ {
+			acc[postings.DocID(r.Intn(numDocs))] = r.Float64() * 100
+		}
+		n := 1 + r.Intn(20)
+		got := TopN(acc, docLen, n)
+
+		want := make([]ScoredDoc, 0, len(acc))
+		for d, a := range acc {
+			want = append(want, ScoredDoc{Doc: d, Score: a / docLen[d]})
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].Score != want[j].Score {
+				return want[i].Score > want[j].Score
+			}
+			return want[i].Doc < want[j].Doc
+		})
+		if n < len(want) {
+			want = want[:n]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: len %d, want %d", iter, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Doc != want[i].Doc || math.Abs(got[i].Score-want[i].Score) > 1e-12 {
+				t.Fatalf("iter %d pos %d: got %v, want %v", iter, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTopNQuickOrdering: results are always sorted by (score desc,
+// doc asc) and within [0, n].
+func TestTopNQuickOrdering(t *testing.T) {
+	prop := func(scores []float64, n uint8) bool {
+		acc := make(map[postings.DocID]float64)
+		docLen := make([]float64, len(scores))
+		for i, s := range scores {
+			acc[postings.DocID(i)] = math.Abs(s)
+			docLen[i] = 1
+		}
+		k := int(n%20) + 1
+		got := TopN(acc, docLen, k)
+		if len(got) > k {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Score > got[i-1].Score {
+				return false
+			}
+			if got[i].Score == got[i-1].Score && got[i].Doc < got[i-1].Doc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

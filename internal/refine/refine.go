@@ -1,0 +1,185 @@
+// Package refine implements the paper's query-refinement workload
+// construction (§5.1.2): terms of a topic are ranked by their average
+// contribution to the cosine similarity of the 20 highest-ranked
+// documents under unoptimized (FULL) evaluation, and refinement
+// sequences are derived from that ranking:
+//
+//	ADD-ONLY  refinement i consists of the top 3·i terms.
+//	ADD-DROP  terms are added exactly as in ADD-ONLY, but each
+//	          refinement (except the first) also drops the
+//	          lowest-contribution term of the previously added group.
+package refine
+
+import (
+	"fmt"
+	"sort"
+
+	"bufir/internal/corpus"
+	"bufir/internal/eval"
+	"bufir/internal/postings"
+	"bufir/internal/rank"
+	"bufir/internal/storage"
+)
+
+// GroupSize is the number of terms added per refinement (the paper
+// adds terms three at a time).
+const GroupSize = 3
+
+// Kind distinguishes the two refinement workloads.
+type Kind int
+
+const (
+	// AddOnly adds GroupSize terms per refinement.
+	AddOnly Kind = iota
+	// AddDrop also drops the weakest term of the previous group.
+	AddDrop
+)
+
+// String returns the workload's paper name.
+func (k Kind) String() string {
+	switch k {
+	case AddOnly:
+		return "ADD-ONLY"
+	case AddDrop:
+		return "ADD-DROP"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// QueryFromTopic resolves a topic's term strings against the index
+// vocabulary, yielding an evaluator query.
+func QueryFromTopic(ix *postings.Index, t corpus.Topic) (eval.Query, error) {
+	q := make(eval.Query, 0, len(t.Terms))
+	for _, tt := range t.Terms {
+		id, ok := ix.LookupTerm(tt.Term)
+		if !ok {
+			return nil, fmt.Errorf("refine: topic %d term %q not in index", t.ID, tt.Term)
+		}
+		q = append(q, eval.QueryTerm{Term: id, Fqt: tt.Fqt})
+	}
+	return q, nil
+}
+
+// RankedTerm pairs a query term with its measured contribution.
+type RankedTerm struct {
+	eval.QueryTerm
+	// Contribution is the term's average contribution to the cosine
+	// similarity of the reference top documents.
+	Contribution float64
+}
+
+// RankByContribution ranks the query's terms by their average
+// contribution to the cosine similarity of the given top-ranked
+// documents (obtained from a FULL evaluation, i.e. with the unsafe
+// optimization turned off). The inverted lists are scanned via the
+// store's uncounted read path: workload construction is offline and
+// is not charged to query execution in the paper's study.
+//
+// Results are ordered by contribution descending; ties break by higher
+// idf, then TermID, for determinism.
+func RankByContribution(ix *postings.Index, st storage.PageSource, q eval.Query, top []rank.ScoredDoc) ([]RankedTerm, error) {
+	want := make(map[postings.DocID]bool, len(top))
+	for _, sd := range top {
+		want[sd.Doc] = true
+	}
+	out := make([]RankedTerm, 0, len(q))
+	for _, qt := range q {
+		tm := &ix.Terms[qt.Term]
+		wqt := rank.QueryWeight(qt.Fqt, tm.IDF)
+		sum := 0.0
+		found := 0
+		for i := 0; i < tm.NumPages && found < len(want); i++ {
+			page, err := st.ReadQuiet(ix.PageOf(qt.Term, i))
+			if err != nil {
+				return nil, fmt.Errorf("refine: scan term %q: %w", tm.Name, err)
+			}
+			for _, e := range page {
+				if want[e.Doc] {
+					found++
+					wd := ix.DocLen[e.Doc]
+					if wd > 0 {
+						sum += rank.DocWeight(e.Freq, tm.IDF) * wqt / wd
+					}
+				}
+			}
+		}
+		contrib := 0.0
+		if len(top) > 0 {
+			contrib = sum / float64(len(top))
+		}
+		out = append(out, RankedTerm{QueryTerm: qt, Contribution: contrib})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Contribution != b.Contribution {
+			return a.Contribution > b.Contribution
+		}
+		ia, ib := ix.IDF(a.Term), ix.IDF(b.Term)
+		if ia != ib {
+			return ia > ib
+		}
+		return a.Term < b.Term
+	})
+	return out, nil
+}
+
+// Sequence is one query-refinement sequence: the ranked terms and the
+// refinement queries derived from them.
+type Sequence struct {
+	TopicID     int
+	Kind        Kind
+	Ranked      []RankedTerm
+	Refinements []eval.Query
+}
+
+// BuildSequence derives the refinement queries for the given workload
+// kind from contribution-ranked terms, adding groupSize terms per
+// refinement (the paper uses 3).
+func BuildSequence(topicID int, kind Kind, ranked []RankedTerm, groupSize int) (*Sequence, error) {
+	if groupSize < 1 {
+		return nil, fmt.Errorf("refine: group size %d < 1", groupSize)
+	}
+	if len(ranked) == 0 {
+		return nil, fmt.Errorf("refine: no ranked terms for topic %d", topicID)
+	}
+	seq := &Sequence{TopicID: topicID, Kind: kind, Ranked: ranked}
+	numRef := (len(ranked) + groupSize - 1) / groupSize
+	dropped := make(map[postings.TermID]bool)
+	for i := 1; i <= numRef; i++ {
+		end := i * groupSize
+		if end > len(ranked) {
+			end = len(ranked)
+		}
+		if kind == AddDrop && i > 1 {
+			// Drop the lowest-contribution term of the previously
+			// added group (the ranking is contribution-descending, so
+			// that is the group's last term).
+			prevEnd := (i - 1) * groupSize
+			dropped[ranked[prevEnd-1].Term] = true
+		}
+		var q eval.Query
+		for _, rt := range ranked[:end] {
+			if dropped[rt.Term] {
+				continue
+			}
+			q = append(q, rt.QueryTerm)
+		}
+		seq.Refinements = append(seq.Refinements, q)
+	}
+	return seq, nil
+}
+
+// Groups returns the term groups of the sequence (Table 6's layout):
+// group i holds the terms added by refinement i, in contribution order.
+func (s *Sequence) Groups(groupSize int) [][]RankedTerm {
+	var groups [][]RankedTerm
+	for start := 0; start < len(s.Ranked); start += groupSize {
+		end := start + groupSize
+		if end > len(s.Ranked) {
+			end = len(s.Ranked)
+		}
+		groups = append(groups, s.Ranked[start:end])
+	}
+	return groups
+}

@@ -1,0 +1,207 @@
+package refine
+
+import (
+	"testing"
+
+	"bufir/internal/corpus"
+	"bufir/internal/eval"
+	"bufir/internal/postings"
+	"bufir/internal/rank"
+	"bufir/internal/storage"
+)
+
+// env builds a small index with controlled contributions.
+func env(t *testing.T) (*postings.Index, *storage.Store) {
+	t.Helper()
+	lists := []postings.TermPostings{
+		{Name: "big", Entries: []postings.Entry{
+			{Doc: 0, Freq: 9}, {Doc: 1, Freq: 8}, {Doc: 2, Freq: 7}, {Doc: 3, Freq: 1},
+		}},
+		{Name: "mid", Entries: []postings.Entry{{Doc: 0, Freq: 4}, {Doc: 4, Freq: 2}}},
+		{Name: "small", Entries: []postings.Entry{{Doc: 5, Freq: 1}}},
+	}
+	ix, pages, err := postings.Build(lists, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, storage.NewStore(pages)
+}
+
+func rankedFixture(t *testing.T, n int) []RankedTerm {
+	t.Helper()
+	out := make([]RankedTerm, n)
+	for i := range out {
+		out[i] = RankedTerm{
+			QueryTerm:    eval.QueryTerm{Term: postings.TermID(i), Fqt: 1},
+			Contribution: float64(n - i),
+		}
+	}
+	return out
+}
+
+func TestQueryFromTopic(t *testing.T) {
+	ix, _ := env(t)
+	topic := corpus.Topic{ID: 1, Terms: []corpus.TopicTerm{
+		{Term: "big", Fqt: 2}, {Term: "small", Fqt: 1},
+	}}
+	q, err := QueryFromTopic(ix, topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 2 || q[0].Fqt != 2 {
+		t.Errorf("query = %v", q)
+	}
+	bad := corpus.Topic{ID: 2, Terms: []corpus.TopicTerm{{Term: "missing", Fqt: 1}}}
+	if _, err := QueryFromTopic(ix, bad); err == nil {
+		t.Error("unknown term should fail")
+	}
+}
+
+func TestRankByContribution(t *testing.T) {
+	ix, st := env(t)
+	q := eval.Query{{Term: 0, Fqt: 1}, {Term: 1, Fqt: 1}, {Term: 2, Fqt: 1}}
+	// Reference top documents: 0 and 1.
+	top := []rank.ScoredDoc{{Doc: 0, Score: 1}, {Doc: 1, Score: 0.9}}
+	ranked, err := RankByContribution(ix, st, q, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	// "big" contributes to both docs, "mid" to doc 0 only, "small" to
+	// neither.
+	if ix.Terms[ranked[0].Term].Name != "big" {
+		t.Errorf("top contributor = %s", ix.Terms[ranked[0].Term].Name)
+	}
+	if ix.Terms[ranked[2].Term].Name != "small" {
+		t.Errorf("weakest contributor = %s", ix.Terms[ranked[2].Term].Name)
+	}
+	if ranked[2].Contribution != 0 {
+		t.Errorf("small contribution = %g, want 0", ranked[2].Contribution)
+	}
+	// Contributions are non-increasing.
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Contribution > ranked[i-1].Contribution {
+			t.Error("contributions not sorted")
+		}
+	}
+	// Workload construction must not be charged as disk reads.
+	if st.Reads() != 0 {
+		t.Errorf("contribution ranking counted %d disk reads", st.Reads())
+	}
+}
+
+func TestBuildSequenceAddOnly(t *testing.T) {
+	ranked := rankedFixture(t, 8)
+	seq, err := BuildSequence(1, AddOnly, ranked, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Refinements) != 3 { // ceil(8/3)
+		t.Fatalf("refinements = %d", len(seq.Refinements))
+	}
+	wantSizes := []int{3, 6, 8}
+	for i, q := range seq.Refinements {
+		if len(q) != wantSizes[i] {
+			t.Errorf("refinement %d has %d terms, want %d", i+1, len(q), wantSizes[i])
+		}
+	}
+	// Refinement i is a strict prefix extension of refinement i-1.
+	for i := 1; i < len(seq.Refinements); i++ {
+		prev, cur := seq.Refinements[i-1], seq.Refinements[i]
+		for j := range prev {
+			if prev[j] != cur[j] {
+				t.Errorf("refinement %d is not an extension of %d", i+1, i)
+			}
+		}
+	}
+}
+
+func TestBuildSequenceAddDrop(t *testing.T) {
+	ranked := rankedFixture(t, 9)
+	seq, err := BuildSequence(1, AddDrop, ranked, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Refinements) != 3 {
+		t.Fatalf("refinements = %d", len(seq.Refinements))
+	}
+	// R1 = {0,1,2}; R2 adds {3,4,5} drops 2 -> 5 terms;
+	// R3 adds {6,7,8} drops 5 -> 7 terms.
+	wantSizes := []int{3, 5, 7}
+	for i, q := range seq.Refinements {
+		if len(q) != wantSizes[i] {
+			t.Errorf("refinement %d has %d terms, want %d", i+1, len(q), wantSizes[i])
+		}
+	}
+	// The dropped term of group 1 (ranked[2]) must be absent from R2.
+	for _, qt := range seq.Refinements[1] {
+		if qt.Term == ranked[2].Term {
+			t.Error("refinement 2 still contains the dropped term")
+		}
+	}
+	// ...but group 2's weakest (ranked[5]) is only dropped at R3.
+	found := false
+	for _, qt := range seq.Refinements[1] {
+		if qt.Term == ranked[5].Term {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("refinement 2 should still contain group 2's weakest term")
+	}
+	for _, qt := range seq.Refinements[2] {
+		if qt.Term == ranked[2].Term || qt.Term == ranked[5].Term {
+			t.Error("refinement 3 contains a dropped term")
+		}
+	}
+}
+
+// TestPaperDropExample mirrors §5.1.2: with Table 6's groups, when the
+// second group is added the third term of the first group is removed
+// and "the entire query of five terms is resubmitted".
+func TestPaperDropExample(t *testing.T) {
+	ranked := rankedFixture(t, 6)
+	seq, err := BuildSequence(1, AddDrop, ranked, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := seq.Refinements[1]
+	if len(r2) != 5 {
+		t.Fatalf("second refinement has %d terms, want 5", len(r2))
+	}
+	want := []postings.TermID{0, 1, 3, 4, 5}
+	for i, qt := range r2 {
+		if qt.Term != want[i] {
+			t.Errorf("r2[%d] = term %d, want %d", i, qt.Term, want[i])
+		}
+	}
+}
+
+func TestBuildSequenceErrors(t *testing.T) {
+	if _, err := BuildSequence(1, AddOnly, nil, 3); err == nil {
+		t.Error("empty ranking should fail")
+	}
+	if _, err := BuildSequence(1, AddOnly, rankedFixture(t, 3), 0); err == nil {
+		t.Error("group size 0 should fail")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	ranked := rankedFixture(t, 7)
+	seq, _ := BuildSequence(1, AddOnly, ranked, 3)
+	groups := seq.Groups(3)
+	if len(groups) != 3 || len(groups[0]) != 3 || len(groups[2]) != 1 {
+		t.Errorf("groups shape wrong: %d groups", len(groups))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if AddOnly.String() != "ADD-ONLY" || AddDrop.String() != "ADD-DROP" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}

@@ -1,0 +1,104 @@
+// Package storage implements the simulated disk underneath the buffer
+// manager. The paper's performance study runs on a simulator whose
+// observable cost metric is the number of page reads (§4.1); this
+// store holds the inverted-list pages in memory and counts every read
+// issued against it. All query-time access goes through the buffer
+// manager, so the read counter is exactly the paper's "disk reads".
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bufir/internal/postings"
+)
+
+// PageSource is the full store surface shared by the plain Store and
+// the CompressedStore: counted reads for query execution, quiet reads
+// for offline workload construction, and read accounting.
+type PageSource interface {
+	Read(id postings.PageID) ([]postings.Entry, error)
+	ReadQuiet(id postings.PageID) ([]postings.Entry, error)
+	Reads() int64
+	ResetReads()
+	NumPages() int
+}
+
+// Store is a paged read-only store of inverted-list pages, indexed by
+// PageID. It is safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	pages [][]postings.Entry
+	reads atomic.Int64
+
+	// faultEvery, when positive, makes every faultEvery-th read fail
+	// with ErrInjectedFault. Used by failure-injection tests to verify
+	// that the buffer manager propagates and survives read errors.
+	faultEvery atomic.Int64
+	readSeq    atomic.Int64
+}
+
+// ErrInjectedFault is returned by Read when fault injection triggers.
+var ErrInjectedFault = fmt.Errorf("storage: injected read fault")
+
+var (
+	_ PageSource = (*Store)(nil)
+	_ PageSource = (*CompressedStore)(nil)
+)
+
+// NewStore creates a store over the given page payloads (indexed by
+// PageID, as produced by postings.Build).
+func NewStore(pages [][]postings.Entry) *Store {
+	return &Store{pages: pages}
+}
+
+// NumPages returns the number of pages in the store.
+func (s *Store) NumPages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}
+
+// Read fetches a page, incrementing the disk-read counter. The
+// returned slice must be treated as immutable.
+func (s *Store) Read(id postings.PageID) ([]postings.Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(id) < 0 || int(id) >= len(s.pages) {
+		return nil, fmt.Errorf("storage: page %d out of range [0,%d)", id, len(s.pages))
+	}
+	if fe := s.faultEvery.Load(); fe > 0 {
+		if s.readSeq.Add(1)%fe == 0 {
+			return nil, ErrInjectedFault
+		}
+	}
+	s.reads.Add(1)
+	return s.pages[id], nil
+}
+
+// ReadQuiet fetches a page without touching the disk-read counter.
+// It exists for workload construction (term-contribution ranking) and
+// index maintenance, which the paper performs offline and does not
+// charge to query execution.
+func (s *Store) ReadQuiet(id postings.PageID) ([]postings.Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(id) < 0 || int(id) >= len(s.pages) {
+		return nil, fmt.Errorf("storage: page %d out of range [0,%d)", id, len(s.pages))
+	}
+	return s.pages[id], nil
+}
+
+// Reads returns the cumulative number of counted page reads.
+func (s *Store) Reads() int64 { return s.reads.Load() }
+
+// ResetReads zeroes the read counter (used between experiment runs).
+func (s *Store) ResetReads() { s.reads.Store(0) }
+
+// InjectFaultEvery makes every n-th Read return ErrInjectedFault;
+// n <= 0 disables injection.
+func (s *Store) InjectFaultEvery(n int64) {
+	s.readSeq.Store(0)
+	s.faultEvery.Store(n)
+}

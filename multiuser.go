@@ -1,0 +1,95 @@
+package bufir
+
+import (
+	"fmt"
+	"sync"
+
+	"bufir/internal/buffer"
+	"bufir/internal/eval"
+)
+
+// SharedSessionPool is a buffer pool served to several concurrent user
+// sessions — the paper's §3.3 multi-user extension, option (b): the
+// pool is managed as a single unit with a global registry of every
+// active query. Under RAP a page is valued by the highest w_{q,t} its
+// term has in any active query, so users benefit from pages cached for
+// each other and one user's refinement cannot starve another's.
+type SharedSessionPool struct {
+	ix   *Index
+	pool *buffer.SharedPool
+
+	mu     sync.Mutex
+	nextID int
+}
+
+// NewSharedSessionPool creates a shared pool of the given page
+// capacity over the index.
+func (ix *Index) NewSharedSessionPool(bufferPages int, policy Policy) (*SharedSessionPool, error) {
+	var pol buffer.Policy
+	switch policy {
+	case LRU:
+		pol = buffer.NewLRU()
+	case MRU:
+		pol = buffer.NewMRU()
+	case RAP, "":
+		pol = buffer.NewRAP()
+	default:
+		return nil, fmt.Errorf("bufir: unknown policy %q", policy)
+	}
+	pool, err := buffer.NewSharedPool(bufferPages, ix.store, ix.ix, pol)
+	if err != nil {
+		return nil, err
+	}
+	return &SharedSessionPool{ix: ix, pool: pool}, nil
+}
+
+// NewSession creates a session whose queries run against the shared
+// pool. Close the session when the user leaves so its query weights
+// stop protecting pages.
+func (sp *SharedSessionPool) NewSession(cfg SessionConfig) (*SharedSession, error) {
+	if cfg.TopN == 0 {
+		cfg.TopN = 20
+	}
+	params := eval.Params{
+		CAdd:           cfg.CAdd,
+		CIns:           cfg.CIns,
+		TopN:           cfg.TopN,
+		ForceFirstPage: cfg.ForceFirstPage,
+	}
+	if !cfg.Unfiltered && params.CAdd == 0 && params.CIns == 0 {
+		tp := eval.TunedParams()
+		params.CAdd, params.CIns = tp.CAdd, tp.CIns
+	}
+	sp.mu.Lock()
+	id := sp.nextID
+	sp.nextID++
+	sp.mu.Unlock()
+	view := sp.pool.UserView(id)
+	ev, err := eval.NewEvaluator(sp.ix.ix, view, sp.ix.conv, params)
+	if err != nil {
+		return nil, err
+	}
+	return &SharedSession{ev: ev, view: view, algo: cfg.Algorithm}, nil
+}
+
+// BufferStats returns the shared pool's counters.
+func (sp *SharedSessionPool) BufferStats() BufferStats {
+	return sp.pool.Manager().Stats()
+}
+
+// SharedSession is one user's session on a SharedSessionPool. It is
+// not safe for concurrent use by multiple goroutines; different
+// sessions of the same pool may run concurrently.
+type SharedSession struct {
+	ev   *eval.Evaluator
+	view *buffer.UserView
+	algo Algorithm
+}
+
+// Search evaluates a query against the shared pool.
+func (s *SharedSession) Search(q Query) (*Result, error) {
+	return s.ev.Evaluate(s.algo, q)
+}
+
+// Close withdraws the session's query from the shared registry.
+func (s *SharedSession) Close() { s.view.Close() }

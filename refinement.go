@@ -1,0 +1,99 @@
+package bufir
+
+import "fmt"
+
+// Refinement is a stateful query-refinement session — the paper's
+// §2.1 user model: "the user refines the query by adding or removing
+// terms, and resubmits it. This may occur repeatedly, until the user
+// is satisfied with the returned results." Each Add or Drop mutates
+// the current query and resubmits it through the underlying Session,
+// whose warm buffer pool is exactly what BAF and RAP exploit.
+type Refinement struct {
+	session *Session
+	current Query
+	// History records the disk reads of every submission.
+	History []RefinementStep
+}
+
+// RefinementStep is one submission's outcome.
+type RefinementStep struct {
+	Terms     int
+	DiskReads int
+}
+
+// StartRefinement begins a refinement session with the initial query
+// and evaluates it.
+func (s *Session) StartRefinement(initial Query) (*Refinement, *Result, error) {
+	r := &Refinement{session: s}
+	res, err := r.resubmit(initial)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, res, nil
+}
+
+// Current returns a copy of the current query.
+func (r *Refinement) Current() Query {
+	return append(Query{}, r.current...)
+}
+
+// Add appends terms to the query and resubmits it. Terms already in
+// the query have their frequencies raised instead (repeated terms come
+// from relevance feedback, §2.2).
+func (r *Refinement) Add(terms ...QueryTerm) (*Result, error) {
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("bufir: no terms to add")
+	}
+	next := append(Query{}, r.current...)
+	for _, qt := range terms {
+		found := false
+		for i := range next {
+			if next[i].Term == qt.Term {
+				next[i].Fqt += qt.Fqt
+				found = true
+				break
+			}
+		}
+		if !found {
+			next = append(next, qt)
+		}
+	}
+	return r.resubmit(next)
+}
+
+// Drop removes a term from the query and resubmits it.
+func (r *Refinement) Drop(term TermID) (*Result, error) {
+	next := make(Query, 0, len(r.current))
+	for _, qt := range r.current {
+		if qt.Term != term {
+			next = append(next, qt)
+		}
+	}
+	if len(next) == len(r.current) {
+		return nil, fmt.Errorf("bufir: term %d not in the current query", term)
+	}
+	if len(next) == 0 {
+		return nil, fmt.Errorf("bufir: cannot drop the last query term")
+	}
+	return r.resubmit(next)
+}
+
+// resubmit evaluates q and commits it as the current query on success.
+func (r *Refinement) resubmit(q Query) (*Result, error) {
+	res, err := r.session.Search(q)
+	if err != nil {
+		return nil, err
+	}
+	r.current = q
+	r.History = append(r.History, RefinementStep{Terms: len(q), DiskReads: res.PagesRead})
+	return res, nil
+}
+
+// TotalDiskReads sums the session's submissions.
+func (r *Refinement) TotalDiskReads() int {
+	total := 0
+	for _, step := range r.History {
+		total += step.DiskReads
+	}
+	return total
+}

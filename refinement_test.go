@@ -1,0 +1,99 @@
+package bufir
+
+import "testing"
+
+func TestRefinementSession(t *testing.T) {
+	col, ix := testIndex(t)
+	s, err := ix.NewSession(SessionConfig{Algorithm: BAF, Policy: RAP, BufferPages: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ix.TopicQuery(col.Topics[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, res, err := s.StartRefinement(q[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Top) == 0 {
+		t.Fatal("initial query returned nothing")
+	}
+	if len(ref.Current()) != 3 {
+		t.Fatalf("current = %d terms", len(ref.Current()))
+	}
+
+	// Add the next three terms.
+	if _, err := ref.Add(q[3], q[4], q[5]); err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Current()) != 6 {
+		t.Fatalf("after add: %d terms", len(ref.Current()))
+	}
+
+	// Adding an existing term raises its frequency.
+	before := ref.Current()
+	if _, err := ref.Add(QueryTerm{Term: q[0].Term, Fqt: 2}); err != nil {
+		t.Fatal(err)
+	}
+	after := ref.Current()
+	if len(after) != len(before) {
+		t.Fatal("re-adding a term changed the term count")
+	}
+	for _, qt := range after {
+		if qt.Term == q[0].Term && qt.Fqt != q[0].Fqt+2 {
+			t.Errorf("fqt = %d, want %d", qt.Fqt, q[0].Fqt+2)
+		}
+	}
+
+	// Drop a term.
+	if _, err := ref.Drop(q[1].Term); err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Current()) != 5 {
+		t.Fatalf("after drop: %d terms", len(ref.Current()))
+	}
+	for _, qt := range ref.Current() {
+		if qt.Term == q[1].Term {
+			t.Fatal("dropped term still present")
+		}
+	}
+
+	// Error paths: unknown drop, empty add, dropping to empty.
+	if _, err := ref.Drop(q[1].Term); err == nil {
+		t.Error("dropping an absent term should fail")
+	}
+	if _, err := ref.Add(); err == nil {
+		t.Error("empty add should fail")
+	}
+	for len(ref.Current()) > 1 {
+		if _, err := ref.Drop(ref.Current()[0].Term); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ref.Drop(ref.Current()[0].Term); err == nil {
+		t.Error("dropping the last term should fail")
+	}
+
+	// History covers every successful submission; warm refinements
+	// should read less than a cold rerun of the same final query.
+	if got := len(ref.History); got != 8 { // start + add + add + drop + 4 drops
+		t.Errorf("history length = %d, want 8", got)
+	}
+	if ref.TotalDiskReads() <= 0 {
+		t.Error("no disk reads recorded")
+	}
+	last := ref.History[len(ref.History)-1]
+	cold, err := ix.NewSession(SessionConfig{Algorithm: BAF, Policy: RAP, BufferPages: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := cold.Search(ref.Current())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.DiskReads > coldRes.PagesRead {
+		t.Errorf("warm refinement read %d pages, cold run %d", last.DiskReads, coldRes.PagesRead)
+	}
+}

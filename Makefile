@@ -1,0 +1,40 @@
+# Tier-1 gate and development targets. `make ci` is the full gate run
+# before every merge: vet, build, the whole test suite twice (plain and
+# -race, the race run covering the 16-goroutine engine stress tests),
+# and the fuzz seed corpora under testdata/fuzz.
+
+GO ?= go
+
+.PHONY: ci vet build test race fuzz-seeds fuzz bench concurrency
+
+ci: vet build test race fuzz-seeds
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Replays the checked-in seed corpora (testdata/fuzz/**) plus the f.Add
+# seeds through every fuzz target, without engaging the fuzzing engine.
+fuzz-seeds:
+	$(GO) test -run=Fuzz ./internal/codec ./internal/textproc
+
+# Short exploratory fuzzing of both targets (not part of ci; minutes).
+fuzz:
+	$(GO) test -fuzz=FuzzCodecRoundTrip -fuzztime=60s ./internal/codec
+	$(GO) test -fuzz=FuzzTokenize -fuzztime=60s ./internal/textproc
+
+bench:
+	$(GO) test -run=xxx -bench=. -benchtime=1x .
+
+# The concurrency experiment: QPS/latency vs. worker count and the
+# 1-worker exactness verification against the serial E12 run.
+concurrency:
+	$(GO) run ./cmd/irbench -exp concurrency

@@ -263,6 +263,56 @@ func BenchmarkMultiUserShared(b *testing.B) {
 	b.ReportMetric(sharedAdvantage, "shared_savings_%")
 }
 
+// BenchmarkConcurrentMultiUser measures the concurrent serving layer:
+// 16 users submitting the E12 topic queries to an 8-worker engine over
+// a shared buffer pool sharded 8 ways.
+func BenchmarkConcurrentMultiUser(b *testing.B) {
+	col, err := GenerateCollection(TinyCollectionConfig(1998))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := NewIndex(col)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var queries [2]Query
+	for ti := range queries {
+		q, err := ix.TopicQuery(col.Topics[ti])
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries[ti] = q
+	}
+	const users = 16
+	b.ResetTimer()
+	var pagesRead int64
+	for i := 0; i < b.N; i++ {
+		eng, err := ix.NewEngine(EngineConfig{
+			Workers: 8, Shards: 8, BufferPages: 128, Algorithm: BAF,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tickets := make([]*Ticket, 0, users)
+		for u := 0; u < users; u++ {
+			t, err := eng.Submit(u, queries[u%len(queries)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			tickets = append(tickets, t)
+		}
+		for _, t := range tickets {
+			if _, err := t.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		pagesRead = eng.Stats().PagesRead
+		eng.Close()
+	}
+	b.ReportMetric(float64(users), "queries/op")
+	b.ReportMetric(float64(pagesRead), "pages_read")
+}
+
 // BenchmarkBaselinePolicies regenerates the footnote-7/14 policy
 // baseline comparison (E14).
 func BenchmarkBaselinePolicies(b *testing.B) {

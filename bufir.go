@@ -420,17 +420,11 @@ func (ix *Index) NewSession(cfg SessionConfig) (*Session, error) {
 	if cfg.Policy == "" {
 		cfg.Policy = LRU
 	}
-	var pol buffer.Policy
-	switch cfg.Policy {
-	case LRU:
-		pol = buffer.NewLRU()
-	case MRU:
-		pol = buffer.NewMRU()
-	case RAP:
-		pol = buffer.NewRAP()
-	default:
-		return nil, fmt.Errorf("bufir: unknown policy %q", cfg.Policy)
+	newPolicy, err := policyFactory(cfg.Policy)
+	if err != nil {
+		return nil, err
 	}
+	pol := newPolicy()
 	params := eval.Params{
 		CAdd:           cfg.CAdd,
 		CIns:           cfg.CIns,

@@ -1,0 +1,81 @@
+package main
+
+// Golden-output tests: the table4 (index statistics) and table12
+// (worked refinement example) experiments are fully deterministic in
+// the collection seed, so their formatted output is captured in
+// testdata/ and diffed verbatim. Regenerate with:
+//
+//	go test ./cmd/irbench -run Golden -update
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"bufir/internal/corpus"
+	"bufir/internal/experiments"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+var (
+	goldenOnce sync.Once
+	goldenEnv  *experiments.Env
+	goldenErr  error
+)
+
+func goldEnv(t *testing.T) *experiments.Env {
+	t.Helper()
+	goldenOnce.Do(func() {
+		goldenEnv, goldenErr = experiments.NewEnv(corpus.TinyConfig(1998))
+	})
+	if goldenErr != nil {
+		t.Fatal(goldenErr)
+	}
+	return goldenEnv
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (run with -update after intentional changes):\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+func TestGoldenTable4(t *testing.T) {
+	res, err := goldEnv(t).RunTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Format(&buf)
+	checkGolden(t, "table4.golden", buf.Bytes())
+}
+
+func TestGoldenTable12(t *testing.T) {
+	res, err := goldEnv(t).RunWorkedExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Format(&buf)
+	checkGolden(t, "table12.golden", buf.Bytes())
+}

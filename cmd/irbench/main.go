@@ -11,10 +11,13 @@
 // -exp is a comma-separated subset of:
 //
 //	fig3 fig4 table4 table5 table12 table6 fig5 fig6 table7 fig7 fig8
-//	multiuser ablations baselines compression feedback docsorted
-//	weblegend boolean dualbuf summary effect
+//	multiuser concurrency ablations baselines compression feedback
+//	docsorted weblegend boolean dualbuf summary effect
 //
 // (fig56/fig78 are aliases for the figure pairs; default "all").
+// concurrency sweeps -workers over the E12 workload with -cusers
+// sessions and -disklat simulated read latency, comparing the
+// single-latch pool against one sharded -cshards ways.
 package main
 
 import (
@@ -44,6 +47,10 @@ func main() {
 		cadd    = flag.Float64("cadd", 0, "override c_add filtering constant (0 = collection-tuned default)")
 		cins    = flag.Float64("cins", 0, "override c_ins filtering constant (0 = collection-tuned default)")
 		csvDir  = flag.String("csv", "", "also write each experiment's data series as CSV into this directory")
+		workers = flag.String("workers", "1,2,4,8", "worker counts swept by the concurrency experiment")
+		cusers  = flag.Int("cusers", 16, "concurrent sessions in the concurrency experiment")
+		cshards = flag.Int("cshards", 8, "buffer-pool latch shards in the concurrency experiment")
+		disklat = flag.Duration("disklat", 200*time.Microsecond, "simulated disk read latency for the concurrency experiment")
 	)
 	flag.Parse()
 
@@ -152,6 +159,9 @@ func main() {
 	run("fig7", func() (formatter, error) { return env.RunSweep("Figure 7", 0, refine.AddDrop, *points) })
 	run("fig8", func() (formatter, error) { return env.RunSweep("Figure 8", 1, refine.AddDrop, *points) })
 	run("multiuser", func() (formatter, error) { return env.RunMultiUser(*points) })
+	run("concurrency", func() (formatter, error) {
+		return env.RunConcurrency(*cusers, *cshards, parseWorkers(*workers), *disklat, *points)
+	})
 	run("ablations", func() (formatter, error) { return env.RunAblations() })
 	run("baselines", func() (formatter, error) { return env.RunBaselines(*points) })
 	run("compression", func() (formatter, error) { return env.RunCompression() })
@@ -173,4 +183,21 @@ func effTopics(requested int) int {
 		return requested
 	}
 	return 20
+}
+
+// parseWorkers parses the -workers sweep list ("1,2,4,8").
+func parseWorkers(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(part, "%d", &n); err != nil || n < 1 {
+			log.Fatalf("bad -workers entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out
 }

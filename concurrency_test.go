@@ -1,0 +1,160 @@
+package bufir
+
+// Concurrency stress tests for the Engine (run with -race): many
+// goroutines driving interleaved ADD-ONLY refinement sequences against
+// one shared pool must produce exactly the serial run's disk reads and
+// per-user rankings. Determinism rests on three facts: DF's results
+// never depend on buffer contents, an ample pool never evicts, and
+// single-flight loading charges each distinct page exactly one miss no
+// matter how many sessions request it concurrently.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// addOnlySteps builds the user's ADD-ONLY refinement sequence: the
+// topic query introduced one term at a time.
+func addOnlySteps(q Query) []Query {
+	steps := make([]Query, 0, len(q))
+	for i := 1; i <= len(q); i++ {
+		steps = append(steps, q[:i])
+	}
+	return steps
+}
+
+// runUsers executes every user's steps in order and returns rankings
+// indexed [user][step] plus the pool's total misses. When conc is
+// true, each user runs on its own goroutine (16 goroutines); otherwise
+// users run one after another on a single-worker engine.
+func runUsers(t *testing.T, ix *Index, steps [][]Query, conc bool) ([][][]ScoredDoc, int64) {
+	t.Helper()
+	cfg := EngineConfig{Workers: 1, Shards: 1, BufferPages: 8192, Algorithm: DF}
+	if conc {
+		cfg.Workers, cfg.Shards = 8, 8
+	}
+	eng, err := ix.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rankings := make([][][]ScoredDoc, len(steps))
+	for u := range rankings {
+		rankings[u] = make([][]ScoredDoc, len(steps[u]))
+	}
+	run := func(u int) error {
+		for i, q := range steps[u] {
+			res, err := eng.Search(u, q)
+			if err != nil {
+				return fmt.Errorf("user %d step %d: %w", u, i, err)
+			}
+			if len(res.Top) == 0 {
+				return fmt.Errorf("user %d step %d: empty results", u, i)
+			}
+			rankings[u][i] = res.Top
+		}
+		return nil
+	}
+	if conc {
+		errs := make(chan error, len(steps))
+		var wg sync.WaitGroup
+		for u := range steps {
+			wg.Add(1)
+			go func(u int) {
+				defer wg.Done()
+				errs <- run(u)
+			}(u)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	} else {
+		for u := range steps {
+			if err := run(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return rankings, eng.BufferStats().Misses
+}
+
+// TestEngineStressDeterministic: 16 goroutines, one per user, each
+// refining its query step by step against an 8-worker engine over an
+// 8-shard pool. Total disk reads and every per-user ranking must equal
+// the serial single-worker run.
+func TestEngineStressDeterministic(t *testing.T) {
+	col, ix := testIndex(t)
+	const users = 16
+	steps := make([][]Query, users)
+	for u := 0; u < users; u++ {
+		q, err := ix.TopicQuery(col.Topics[u%len(col.Topics)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps[u] = addOnlySteps(q)
+	}
+
+	wantRank, wantReads := runUsers(t, ix, steps, false)
+	gotRank, gotReads := runUsers(t, ix, steps, true)
+
+	if gotReads != wantReads {
+		t.Errorf("concurrent run read %d pages, serial run %d", gotReads, wantReads)
+	}
+	for u := range wantRank {
+		for i := range wantRank[u] {
+			w, g := wantRank[u][i], gotRank[u][i]
+			if len(w) != len(g) {
+				t.Fatalf("user %d step %d: %d results, want %d", u, i, len(g), len(w))
+			}
+			for k := range w {
+				if w[k].Doc != g[k].Doc || w[k].Score != g[k].Score {
+					t.Fatalf("user %d step %d rank %d: got doc %d (%.6f), want doc %d (%.6f)",
+						u, i, k, g[k].Doc, g[k].Score, w[k].Doc, w[k].Score)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineSharedPoolCrossUserHits: concurrent users on overlapping
+// topics must benefit from each other's pages (the point of §3.3's
+// shared pool), visible as buffer hits well above what any single
+// user's own re-accesses could produce.
+func TestEngineSharedPoolCrossUserHits(t *testing.T) {
+	col, ix := testIndex(t)
+	eng, err := ix.NewEngine(EngineConfig{Workers: 4, Shards: 4, BufferPages: 256, Algorithm: BAF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	q, err := ix.TopicQuery(col.Topics[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for u := 0; u < 8; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := eng.Search(u, q); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	st := eng.BufferStats()
+	if st.Hits == 0 {
+		t.Error("no cross-user buffer hits on identical topics")
+	}
+	if es := eng.Stats(); es.Queries != 40 || es.Errors != 0 {
+		t.Errorf("serving counters = %+v, want 40 queries, 0 errors", es)
+	}
+}

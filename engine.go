@@ -1,0 +1,157 @@
+package bufir
+
+import (
+	"fmt"
+	"time"
+
+	"bufir/internal/buffer"
+	"bufir/internal/engine"
+	"bufir/internal/eval"
+	"bufir/internal/metrics"
+)
+
+// EngineConfig parameterizes a concurrent query engine.
+type EngineConfig struct {
+	// Workers is the number of serving goroutines (default 4).
+	Workers int
+	// Shards splits the buffer pool's latch (and capacity) by page-id
+	// hash; 1 keeps the single-latch pool (default 1). With more than
+	// one worker, shards ≈ workers keeps latch contention low.
+	Shards int
+	// BufferPages is the shared pool capacity in pages (default 128).
+	BufferPages int
+	// Policy is the replacement policy (default RAP, the natural
+	// choice for a shared pool: §3.3's global query registry keeps one
+	// user's pages safe from another's refinement).
+	Policy Policy
+	// Algorithm is DF or BAF (default DF), shared by all sessions.
+	Algorithm Algorithm
+	// CAdd and CIns are the filtering constants; both zero selects the
+	// collection-tuned defaults unless Unfiltered is set.
+	CAdd, CIns float64
+	// Unfiltered disables the unsafe optimization (exhaustive runs).
+	Unfiltered bool
+	// TopN is the result size n (default 20).
+	TopN int
+	// ForceFirstPage guarantees at least one page of every query term
+	// is processed.
+	ForceFirstPage bool
+}
+
+// EngineStats is a snapshot of the engine's atomic serving counters.
+type EngineStats = metrics.ServingSnapshot
+
+// Engine serves a stream of (user, query) requests on a worker pool of
+// goroutines over one shared buffer pool. Requests of the same user
+// execute in submission order (refinement steps build on each other);
+// requests of different users run in parallel. Engine is safe for
+// concurrent use from any number of goroutines; with Workers == 1 it
+// executes the global stream in exact submission order, reproducing
+// serial results bit-for-bit.
+type Engine struct {
+	inner *engine.Engine
+	pool  *buffer.SharedPool
+}
+
+// Ticket is a handle on a submitted request.
+type Ticket struct {
+	job *engine.Job
+}
+
+// Wait blocks until the request completes and returns its result.
+func (t *Ticket) Wait() (*Result, error) { return t.job.Wait() }
+
+// Service returns the request's service time (valid after Wait).
+func (t *Ticket) Service() time.Duration { return t.job.Service() }
+
+// NewEngine creates a concurrent query engine over the index.
+func (ix *Index) NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.BufferPages == 0 {
+		cfg.BufferPages = 128
+	}
+	if cfg.TopN == 0 {
+		cfg.TopN = 20
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = RAP
+	}
+	newPolicy, err := policyFactory(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	var pool *buffer.SharedPool
+	if cfg.Shards == 1 {
+		pool, err = buffer.NewSharedPool(cfg.BufferPages, ix.store, ix.ix, newPolicy())
+	} else {
+		pool, err = buffer.NewShardedSharedPool(cfg.BufferPages, cfg.Shards, ix.store, ix.ix, newPolicy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	params := eval.Params{
+		CAdd:           cfg.CAdd,
+		CIns:           cfg.CIns,
+		TopN:           cfg.TopN,
+		ForceFirstPage: cfg.ForceFirstPage,
+	}
+	if !cfg.Unfiltered && params.CAdd == 0 && params.CIns == 0 {
+		tp := eval.TunedParams()
+		params.CAdd, params.CIns = tp.CAdd, tp.CIns
+	}
+	inner, err := engine.New(ix.ix, ix.conv, pool, engine.Config{
+		Workers: cfg.Workers,
+		Algo:    cfg.Algorithm,
+		Params:  params,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: inner, pool: pool}, nil
+}
+
+// policyFactory maps a Policy name to a constructor of fresh policy
+// instances (sharded pools need one instance per shard).
+func policyFactory(p Policy) (func() buffer.Policy, error) {
+	switch p {
+	case LRU:
+		return func() buffer.Policy { return buffer.NewLRU() }, nil
+	case MRU:
+		return func() buffer.Policy { return buffer.NewMRU() }, nil
+	case RAP:
+		return func() buffer.Policy { return buffer.NewRAP() }, nil
+	default:
+		return nil, fmt.Errorf("bufir: unknown policy %q", p)
+	}
+}
+
+// Search executes one request for the user, blocking until its result
+// is ready. Calls for the same user from one goroutine execute in
+// call order.
+func (e *Engine) Search(user int, q Query) (*Result, error) {
+	return e.inner.Search(user, q)
+}
+
+// Submit enqueues a request and returns immediately with a Ticket.
+func (e *Engine) Submit(user int, q Query) (*Ticket, error) {
+	j, err := e.inner.Submit(user, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Ticket{job: j}, nil
+}
+
+// Stats returns the engine's atomic serving counters.
+func (e *Engine) Stats() EngineStats { return e.inner.Counters() }
+
+// BufferStats returns the shared pool's hit/miss/eviction counters.
+func (e *Engine) BufferStats() BufferStats { return e.inner.BufferStats() }
+
+// Close drains pending requests, stops the workers, and withdraws all
+// sessions from the shared query registry. Idempotent.
+func (e *Engine) Close() { e.inner.Close() }

@@ -202,14 +202,16 @@ func (e *Evaluator) Evaluate(expr Expr) (*Result, error) {
 		return nil, fmt.Errorf("boolean: nil expression")
 	}
 	e.Buf.SetQuery(weightsOf(e.Idx, expr))
-	start := e.Buf.Stats().Misses
-	docs, err := e.eval(expr)
+	// Reads are counted from per-Fetch miss reports, confined to this
+	// call, so concurrent evaluations on a shared pool stay exact.
+	reads := 0
+	docs, err := e.eval(expr, &reads)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		Docs:      docs,
-		PagesRead: int(e.Buf.Stats().Misses - start),
+		PagesRead: reads,
 	}, nil
 }
 
@@ -237,45 +239,45 @@ func weightsOf(ix *postings.Index, expr Expr) buffer.QueryWeights {
 	return func(t postings.TermID) float64 { return w[t] }
 }
 
-func (e *Evaluator) eval(expr Expr) ([]postings.DocID, error) {
+func (e *Evaluator) eval(expr Expr, reads *int) ([]postings.DocID, error) {
 	switch v := expr.(type) {
 	case *TermExpr:
-		return e.termDocs(v.Term)
+		return e.termDocs(v.Term, reads)
 	case *AndExpr:
 		// AND NOT gets the dedicated difference merge: the complement
 		// never materializes.
 		if not, ok := v.Right.(*NotExpr); ok {
-			left, err := e.eval(v.Left)
+			left, err := e.eval(v.Left, reads)
 			if err != nil {
 				return nil, err
 			}
-			right, err := e.eval(not.Child)
+			right, err := e.eval(not.Child, reads)
 			if err != nil {
 				return nil, err
 			}
 			return difference(left, right), nil
 		}
-		left, err := e.eval(v.Left)
+		left, err := e.eval(v.Left, reads)
 		if err != nil {
 			return nil, err
 		}
-		right, err := e.eval(v.Right)
+		right, err := e.eval(v.Right, reads)
 		if err != nil {
 			return nil, err
 		}
 		return intersect(left, right), nil
 	case *OrExpr:
-		left, err := e.eval(v.Left)
+		left, err := e.eval(v.Left, reads)
 		if err != nil {
 			return nil, err
 		}
-		right, err := e.eval(v.Right)
+		right, err := e.eval(v.Right, reads)
 		if err != nil {
 			return nil, err
 		}
 		return union(left, right), nil
 	case *NotExpr:
-		child, err := e.eval(v.Child)
+		child, err := e.eval(v.Child, reads)
 		if err != nil {
 			return nil, err
 		}
@@ -286,13 +288,16 @@ func (e *Evaluator) eval(expr Expr) ([]postings.DocID, error) {
 }
 
 // termDocs reads a term's full doc-sorted list through the pool.
-func (e *Evaluator) termDocs(t postings.TermID) ([]postings.DocID, error) {
+func (e *Evaluator) termDocs(t postings.TermID, reads *int) ([]postings.DocID, error) {
 	tm := &e.Idx.Terms[t]
 	out := make([]postings.DocID, 0, tm.DF)
 	for p := 0; p < tm.NumPages; p++ {
-		frame, err := e.Buf.Get(e.Idx.PageOf(t, p))
+		frame, missed, err := e.Buf.Fetch(e.Idx.PageOf(t, p))
 		if err != nil {
 			return nil, fmt.Errorf("boolean: term %q page %d: %w", tm.Name, p, err)
+		}
+		if missed {
+			*reads++
 		}
 		for _, entry := range frame.Data() {
 			out = append(out, entry.Doc)

@@ -53,9 +53,14 @@ func (d *DualPool) partitionFor(t postings.TermID) *Manager {
 	return d.long
 }
 
-// Get implements Pool.
+// Get fixes a page in its partition; the caller must Unpin it.
 func (d *DualPool) Get(id postings.PageID) (*Frame, error) {
 	return d.partitionFor(d.ix.TermOfPage(id)).Get(id)
+}
+
+// Fetch implements Pool.
+func (d *DualPool) Fetch(id postings.PageID) (*Frame, bool, error) {
+	return d.partitionFor(d.ix.TermOfPage(id)).Fetch(id)
 }
 
 // Unpin implements Pool.

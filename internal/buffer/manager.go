@@ -32,6 +32,15 @@ type Frame struct {
 	data []postings.Entry
 	pin  int
 
+	// loading is non-nil while the page is being read from storage
+	// outside the shard latch (ShardedManager only) and is closed when
+	// the read completes; loadErr is set before the close on failure.
+	// Both are written under the owning shard's mutex; waiters read
+	// loadErr only after the channel closes (the close is the memory
+	// barrier).
+	loading chan struct{}
+	loadErr error
+
 	// intrusive doubly-linked list (LRU/MRU recency chain)
 	prev, next *Frame
 	// RAP priority-queue bookkeeping
@@ -127,6 +136,15 @@ func (m *Manager) Policy() string { return m.policy.Name() }
 // (evicting a victim first if the pool is full), and returns the
 // pinned frame. The caller must Unpin the frame when done with it.
 func (m *Manager) Get(id postings.PageID) (*Frame, error) {
+	f, _, err := m.Fetch(id)
+	return f, err
+}
+
+// Fetch is Get plus a report of whether the call missed (i.e. caused a
+// disk read). Evaluators use the flag to keep per-session read counts
+// confined, so concurrent sessions on a shared pool cannot pollute
+// each other's statistics.
+func (m *Manager) Fetch(id postings.PageID) (*Frame, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -134,21 +152,21 @@ func (m *Manager) Get(id postings.PageID) (*Frame, error) {
 		m.stats.Hits++
 		f.pin++
 		m.policy.Touched(f)
-		return f, nil
+		return f, false, nil
 	}
 
 	// Miss: make room if needed, then load.
 	if len(m.frames) >= m.capacity {
 		victim := m.policy.Victim()
 		if victim == nil {
-			return nil, ErrNoVictim
+			return nil, false, ErrNoVictim
 		}
 		m.removeLocked(victim)
 		m.stats.Evictions++
 	}
 	data, err := m.store.Read(id)
 	if err != nil {
-		return nil, fmt.Errorf("buffer: load page %d: %w", id, err)
+		return nil, false, fmt.Errorf("buffer: load page %d: %w", id, err)
 	}
 	m.stats.Misses++
 	f := &Frame{
@@ -162,7 +180,7 @@ func (m *Manager) Get(id postings.PageID) (*Frame, error) {
 	m.frames[id] = f
 	m.resident[f.Term]++
 	m.policy.Admitted(f)
-	return f, nil
+	return f, true, nil
 }
 
 // Unpin releases one pin on the frame. Unpinning an unpinned frame is

@@ -159,6 +159,152 @@ func bruteVictim(frames []*Frame) *Frame {
 	return best
 }
 
+// TestShardedManagerProperties replays random traces with pins held
+// across operations against ShardedManager and checks its invariants
+// after every step: the resident union never exceeds capacity, pinned
+// pages are never evicted, b_t always equals a brute-force recount of
+// buffered pages, and the hit/miss ledger balances the fetch count.
+func TestShardedManagerProperties(t *testing.T) {
+	ix, st := testEnv(t)
+	r := rand.New(rand.NewSource(777))
+	factories := []func() Policy{
+		func() Policy { return NewLRU() },
+		func() Policy { return NewMRU() },
+		func() Policy { return NewRAP() },
+	}
+	for trial := 0; trial < 30; trial++ {
+		nshards := 1 + r.Intn(4)
+		capacity := nshards + r.Intn(7-nshards+1)
+		mgr, err := NewShardedManager(capacity, nshards, st, ix, factories[trial%len(factories)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr.SetQuery(func(tm postings.TermID) float64 { return float64(tm + 1) })
+		var held []*Frame
+		var fetches, noVictims int64
+		for op := 0; op < 400; op++ {
+			switch {
+			case len(held) > 0 && r.Intn(3) == 0:
+				// Release a random held pin.
+				i := r.Intn(len(held))
+				mgr.Unpin(held[i])
+				held = append(held[:i], held[i+1:]...)
+			default:
+				p := postings.PageID(r.Intn(7))
+				f, _, err := mgr.Fetch(p)
+				if err == ErrNoVictim {
+					noVictims++ // every frame of p's shard is pinned: legal
+					continue
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				fetches++
+				if r.Intn(2) == 0 && len(held) < capacity-1 {
+					held = append(held, f)
+				} else {
+					mgr.Unpin(f)
+				}
+			}
+
+			if got := mgr.InUse(); got > capacity {
+				t.Fatalf("trial %d op %d: InUse %d > capacity %d", trial, op, got, capacity)
+			}
+			for _, f := range held {
+				if !mgr.Contains(f.Page) {
+					t.Fatalf("trial %d op %d: pinned page %d was evicted", trial, op, f.Page)
+				}
+			}
+			for tm := postings.TermID(0); tm < postings.TermID(len(ix.Terms)); tm++ {
+				brute := 0
+				for i := 0; i < ix.Terms[tm].NumPages; i++ {
+					if mgr.Contains(ix.Terms[tm].FirstPage + postings.PageID(i)) {
+						brute++
+					}
+				}
+				if got := mgr.ResidentPages(tm); got != brute {
+					t.Fatalf("trial %d op %d: b_%d = %d, brute-force %d", trial, op, tm, got, brute)
+				}
+			}
+		}
+		s := mgr.Stats()
+		if s.Hits+s.Misses != fetches {
+			t.Fatalf("trial %d: hits %d + misses %d != %d successful fetches", trial, s.Hits, s.Misses, fetches)
+		}
+		for _, f := range held {
+			mgr.Unpin(f)
+		}
+	}
+}
+
+// TestShardedSingleShardMatchesManager: a 1-shard ShardedManager under
+// single-threaded access must be bit-for-bit equivalent to Manager —
+// same resident set, same per-term b_t, same hit/miss/eviction
+// counters — on arbitrary traces. This is the equivalence the
+// concurrency experiment's exactness guarantee rests on.
+func TestShardedSingleShardMatchesManager(t *testing.T) {
+	ix, st := testEnv(t)
+	r := rand.New(rand.NewSource(4242))
+	factories := map[string]func() Policy{
+		"LRU": func() Policy { return NewLRU() },
+		"MRU": func() Policy { return NewMRU() },
+		"RAP": func() Policy { return NewRAP() },
+	}
+	for name, mk := range factories {
+		for trial := 0; trial < 10; trial++ {
+			capacity := 1 + r.Intn(6)
+			ref, err := NewManager(capacity, st, ix, mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			mgr, err := NewShardedManager(capacity, 1, st, ix, mk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for op := 0; op < 400; op++ {
+				if r.Intn(40) == 0 {
+					w := make(map[postings.TermID]float64, 3)
+					for tm := postings.TermID(0); tm < 3; tm++ {
+						w[tm] = float64(r.Intn(5))
+					}
+					ref.SetQuery(func(tm postings.TermID) float64 { return w[tm] })
+					mgr.SetQuery(func(tm postings.TermID) float64 { return w[tm] })
+				}
+				if r.Intn(80) == 0 {
+					ref.Flush()
+					mgr.Flush()
+				}
+				p := postings.PageID(r.Intn(7))
+				fr, err := ref.Get(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref.Unpin(fr)
+				fs, err := mgr.Get(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mgr.Unpin(fs)
+				for q := postings.PageID(0); q < 7; q++ {
+					if ref.Contains(q) != mgr.Contains(q) {
+						t.Fatalf("%s trial %d op %d: Contains(%d) diverged (Manager %v, sharded %v)",
+							name, trial, op, q, ref.Contains(q), mgr.Contains(q))
+					}
+				}
+				for tm := postings.TermID(0); tm < 3; tm++ {
+					if ref.ResidentPages(tm) != mgr.ResidentPages(tm) {
+						t.Fatalf("%s trial %d op %d: b_%d diverged", name, trial, op, tm)
+					}
+				}
+			}
+			rs, ss := ref.Stats(), mgr.Stats()
+			if rs != ss {
+				t.Fatalf("%s trial %d: stats diverged: Manager %+v, sharded %+v", name, trial, rs, ss)
+			}
+		}
+	}
+}
+
 // TestRAPHeapIndicesConsistent: after arbitrary operations every
 // frame's heapIdx must point at itself (the container/heap contract
 // the Remove path depends on).

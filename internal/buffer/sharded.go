@@ -1,0 +1,327 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bufir/internal/postings"
+)
+
+// ShardedManager is the concurrent buffer manager: the pool's lock is
+// sharded by page-id hash, so parallel sessions scanning different
+// pages latch different shards instead of convoying on one mutex. Each
+// shard owns a fixed slice of the capacity and runs its own instance
+// of the replacement policy over its own frames (policy callbacks stay
+// single-threaded per shard, so LRU/MRU/RAP need no internal locking).
+//
+// Two properties matter for the paper's experiments:
+//
+//   - Determinism: with a single shard and single-threaded access a
+//     ShardedManager behaves bit-for-bit like a Manager — same hits,
+//     misses, evictions, victims — so serial experiment numbers (E12
+//     in particular) are reproduced exactly.
+//   - I/O outside the latch: on a miss the shard reserves the frame
+//     (pinned, marked loading), releases its latch, and only then
+//     reads the page from storage. Concurrent requests for the same
+//     page wait on the frame's loading channel and count as hits
+//     (single-flight); requests for other pages of the same shard
+//     proceed. This is what lets worker pools overlap simulated disk
+//     latency, the dominant cost in the paper's model (§4.1).
+//
+// The per-term resident counts b_t (the BAF inquiry, Figure 2 step
+// 3(a)iii) and the hit/miss/eviction counters are kept in atomics so
+// they stay exact under parallelism.
+type ShardedManager struct {
+	store  PageReader
+	ix     *postings.Index
+	shards []shard
+
+	resident []atomic.Int32
+	hits     atomic.Int64
+	misses   atomic.Int64
+	evicts   atomic.Int64
+
+	// querySeq orders concurrent SetQuery calls so every shard ends up
+	// with the globally newest weights even when two callers interleave
+	// their per-shard application.
+	querySeq atomic.Uint64
+
+	polName string
+}
+
+// shard is one latch domain: a capacity slice, its frames, and a
+// private policy instance. All fields are guarded by mu.
+type shard struct {
+	mu       sync.Mutex
+	capacity int
+	frames   map[postings.PageID]*Frame
+	policy   Policy
+	querySeq uint64
+}
+
+var _ Pool = (*ShardedManager)(nil)
+
+// NewShardedManager creates a buffer manager whose lock (and capacity)
+// is split across nshards shards. newPolicy must return a fresh policy
+// instance per call — each shard runs its own. capacity must be at
+// least nshards so every shard can hold a page. Page ids map to shards
+// by modulo, which stripes consecutive pages of one inverted list
+// across all shards — exactly the layout that lets one list scan keep
+// every latch domain busy.
+func NewShardedManager(capacity, nshards int, store PageReader, ix *postings.Index, newPolicy func() Policy) (*ShardedManager, error) {
+	if nshards < 1 {
+		return nil, fmt.Errorf("buffer: shard count %d < 1", nshards)
+	}
+	if capacity < nshards {
+		return nil, fmt.Errorf("buffer: capacity %d < shard count %d", capacity, nshards)
+	}
+	if store == nil {
+		return nil, errors.New("buffer: nil store")
+	}
+	if newPolicy == nil {
+		return nil, errors.New("buffer: nil policy factory")
+	}
+	m := &ShardedManager{
+		store:    store,
+		ix:       ix,
+		shards:   make([]shard, nshards),
+		resident: make([]atomic.Int32, len(ix.Terms)),
+	}
+	base, rem := capacity/nshards, capacity%nshards
+	for i := range m.shards {
+		cap := base
+		if i < rem {
+			cap++
+		}
+		pol := newPolicy()
+		if pol == nil {
+			return nil, errors.New("buffer: policy factory returned nil")
+		}
+		if i == 0 {
+			m.polName = pol.Name()
+		}
+		m.shards[i] = shard{
+			capacity: cap,
+			frames:   make(map[postings.PageID]*Frame, cap),
+			policy:   pol,
+		}
+	}
+	return m, nil
+}
+
+// shardOf maps a page to its latch domain.
+func (m *ShardedManager) shardOf(id postings.PageID) *shard {
+	return &m.shards[int(uint64(id)%uint64(len(m.shards)))]
+}
+
+// NumShards returns the number of latch domains.
+func (m *ShardedManager) NumShards() int { return len(m.shards) }
+
+// Capacity returns the total pool size in pages.
+func (m *ShardedManager) Capacity() int {
+	total := 0
+	for i := range m.shards {
+		total += m.shards[i].capacity
+	}
+	return total
+}
+
+// Policy returns the replacement policy's name.
+func (m *ShardedManager) Policy() string { return m.polName }
+
+// Get fixes a page in the pool; the caller must Unpin it.
+func (m *ShardedManager) Get(id postings.PageID) (*Frame, error) {
+	f, _, err := m.Fetch(id)
+	return f, err
+}
+
+// Fetch is Get plus a miss report (true when this call initiated the
+// disk read). A caller that waits for another session's in-flight read
+// of the same page is a hit: the page costs one read no matter how
+// many sessions arrive while it loads.
+func (m *ShardedManager) Fetch(id postings.PageID) (*Frame, bool, error) {
+	sh := m.shardOf(id)
+	sh.mu.Lock()
+	if f, ok := sh.frames[id]; ok {
+		f.pin++
+		sh.policy.Touched(f)
+		ch := f.loading
+		sh.mu.Unlock()
+		if ch != nil {
+			<-ch
+			if f.loadErr != nil {
+				err := f.loadErr
+				m.unpinPoisoned(sh, f)
+				return nil, false, err
+			}
+		}
+		m.hits.Add(1)
+		return f, false, nil
+	}
+
+	// Miss: reserve the frame under the latch, read outside it.
+	if len(sh.frames) >= sh.capacity {
+		victim := sh.policy.Victim()
+		if victim == nil {
+			sh.mu.Unlock()
+			return nil, false, ErrNoVictim
+		}
+		m.removeLocked(sh, victim)
+		m.evicts.Add(1)
+	}
+	f := &Frame{
+		Page:    id,
+		Term:    m.ix.TermOfPage(id),
+		Offset:  m.ix.PageOffset(id),
+		WStar:   m.ix.PageWStar(id),
+		pin:     1,
+		loading: make(chan struct{}),
+	}
+	sh.frames[id] = f
+	m.resident[f.Term].Add(1)
+	sh.policy.Admitted(f)
+	m.misses.Add(1)
+	sh.mu.Unlock()
+
+	data, err := m.store.Read(id)
+
+	sh.mu.Lock()
+	if err != nil {
+		// Counters must reflect successful loads only, matching
+		// Manager: undo the provisional miss, poison the frame for any
+		// waiters, and withdraw it once the last pin drops.
+		m.misses.Add(-1)
+		f.loadErr = fmt.Errorf("buffer: load page %d: %w", id, err)
+		close(f.loading)
+		loadErr := f.loadErr
+		m.unpinPoisonedLocked(sh, f)
+		sh.mu.Unlock()
+		return nil, false, loadErr
+	}
+	f.data = data
+	close(f.loading)
+	f.loading = nil
+	sh.mu.Unlock()
+	return f, true, nil
+}
+
+// unpinPoisoned releases one pin on a frame whose load failed and
+// removes the frame from the pool when the last pin drops.
+func (m *ShardedManager) unpinPoisoned(sh *shard, f *Frame) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m.unpinPoisonedLocked(sh, f)
+}
+
+func (m *ShardedManager) unpinPoisonedLocked(sh *shard, f *Frame) {
+	f.pin--
+	if f.pin == 0 {
+		m.removeLocked(sh, f)
+	}
+}
+
+// Unpin releases one pin on the frame. Unpinning an unpinned frame is
+// a programming error and panics.
+func (m *ShardedManager) Unpin(f *Frame) {
+	sh := m.shardOf(f.Page)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f.pin <= 0 {
+		panic(fmt.Sprintf("buffer: unpin of unpinned page %d", f.Page))
+	}
+	f.pin--
+}
+
+// Contains reports whether a page is currently buffered, without
+// perturbing policy state.
+func (m *ShardedManager) Contains(id postings.PageID) bool {
+	sh := m.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.frames[id]
+	return ok
+}
+
+// ResidentPages returns b_t: how many pages of term t's inverted list
+// are currently buffered, summed across shards. Lock-free: BAF issues
+// up to T(T+1)/2 inquiries per query and must not convoy the pool.
+func (m *ShardedManager) ResidentPages(t postings.TermID) int {
+	return int(m.resident[t].Load())
+}
+
+// InUse returns the number of occupied frames.
+func (m *ShardedManager) InUse() int {
+	total := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		total += len(sh.frames)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// SetQuery pushes the query weights to every shard's policy. Stale
+// concurrent announcements are dropped via a global sequence number,
+// so after racing calls every shard holds the newest weights — the
+// coherence the shared registry of §3.3 needs across latch domains.
+func (m *ShardedManager) SetQuery(w QueryWeights) {
+	if w == nil {
+		w = func(postings.TermID) float64 { return 0 }
+	}
+	seq := m.querySeq.Add(1)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		if sh.querySeq < seq {
+			sh.querySeq = seq
+			sh.policy.SetQuery(w)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Flush empties the pool. Flushing with pinned pages (including pages
+// mid-load) is a programming error and panics; call it only between
+// queries, as the experiments do.
+func (m *ShardedManager) Flush() {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.pin > 0 {
+				sh.mu.Unlock()
+				panic(fmt.Sprintf("buffer: flush with pinned page %d", f.Page))
+			}
+		}
+		for _, f := range sh.frames {
+			m.removeLocked(sh, f)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of the hit/miss/eviction counters.
+func (m *ShardedManager) Stats() Stats {
+	return Stats{
+		Hits:      m.hits.Load(),
+		Misses:    m.misses.Load(),
+		Evictions: m.evicts.Load(),
+	}
+}
+
+// ResetStats zeroes the counters (pool contents are untouched).
+func (m *ShardedManager) ResetStats() {
+	m.hits.Store(0)
+	m.misses.Store(0)
+	m.evicts.Store(0)
+}
+
+// removeLocked detaches f from its shard. Caller holds sh.mu.
+func (m *ShardedManager) removeLocked(sh *shard, f *Frame) {
+	sh.policy.Removed(f)
+	delete(sh.frames, f.Page)
+	m.resident[f.Term].Add(-1)
+}

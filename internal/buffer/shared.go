@@ -7,11 +7,16 @@ import (
 )
 
 // Pool is the buffer-manager surface the query evaluator needs. It is
-// implemented by *Manager (single-user) and *UserView (a user's handle
-// on a SharedPool).
+// implemented by *Manager (single latch), *ShardedManager (latch per
+// page-hash shard), *DualPool (partitioned), and *UserView (a user's
+// handle on a SharedPool).
 type Pool interface {
-	// Get fixes a page in the pool; the caller must Unpin it.
-	Get(id postings.PageID) (*Frame, error)
+	// Fetch fixes a page in the pool and reports whether this call
+	// missed (initiated a disk read); the caller must Unpin the frame.
+	// Evaluators count misses from this flag — never from shared Stats
+	// deltas — so per-session read counts stay exact when many
+	// sessions run on one pool.
+	Fetch(id postings.PageID) (*Frame, bool, error)
 	// Unpin releases one pin.
 	Unpin(f *Frame)
 	// ResidentPages reports b_t for a term.
@@ -22,9 +27,26 @@ type Pool interface {
 	Stats() Stats
 }
 
+// PoolManager is the full managing surface of a buffer manager:
+// the evaluator-facing Pool plus maintenance and introspection. Both
+// *Manager and *ShardedManager implement it, so everything layered
+// above (SharedPool, experiments) is agnostic to lock granularity.
+type PoolManager interface {
+	Pool
+	Get(id postings.PageID) (*Frame, error)
+	Contains(id postings.PageID) bool
+	InUse() int
+	Capacity() int
+	Policy() string
+	Flush()
+	ResetStats()
+}
+
 var (
-	_ Pool = (*Manager)(nil)
-	_ Pool = (*UserView)(nil)
+	_ Pool        = (*Manager)(nil)
+	_ Pool        = (*UserView)(nil)
+	_ PoolManager = (*Manager)(nil)
+	_ PoolManager = (*ShardedManager)(nil)
 )
 
 // SharedPool realizes the second multi-user option of §3.3: a single
@@ -34,16 +56,40 @@ var (
 // paper's suggestion for terms shared by many queries — so one user's
 // refinement cannot evict pages another user is actively ranking
 // with, and users benefit from pages cached for each other.
+//
+// SharedPool is safe for concurrent use by many sessions; scalability
+// under parallel workers comes from backing it with a ShardedManager
+// (NewShardedSharedPool).
 type SharedPool struct {
-	mgr *Manager
+	mgr PoolManager
 
 	mu      sync.Mutex
 	weights map[int]QueryWeights
+	seq     uint64
+
+	// applyMu orders pushes of combined weights to the manager:
+	// a stale snapshot (built before a concurrent registry update) is
+	// dropped rather than applied over a newer one.
+	applyMu    sync.Mutex
+	appliedSeq uint64
 }
 
-// NewSharedPool creates a shared pool of the given capacity.
+// NewSharedPool creates a shared pool of the given capacity behind a
+// single latch (the seed's configuration; serial numbers match the
+// paper exactly).
 func NewSharedPool(capacity int, store PageReader, ix *postings.Index, policy Policy) (*SharedPool, error) {
 	mgr, err := NewManager(capacity, store, ix, policy)
+	if err != nil {
+		return nil, err
+	}
+	return &SharedPool{mgr: mgr, weights: make(map[int]QueryWeights)}, nil
+}
+
+// NewShardedSharedPool creates a shared pool whose latch and capacity
+// are split across nshards shards (see ShardedManager). newPolicy must
+// return a fresh policy instance per call.
+func NewShardedSharedPool(capacity, nshards int, store PageReader, ix *postings.Index, newPolicy func() Policy) (*SharedPool, error) {
+	mgr, err := NewShardedManager(capacity, nshards, store, ix, newPolicy)
 	if err != nil {
 		return nil, err
 	}
@@ -59,10 +105,13 @@ func (sp *SharedPool) UserView(id int) *UserView {
 }
 
 // Manager exposes the underlying manager for stats and maintenance.
-func (sp *SharedPool) Manager() *Manager { return sp.mgr }
+func (sp *SharedPool) Manager() PoolManager { return sp.mgr }
 
 // setUserQuery records one user's weights and pushes the combined
-// function to the replacement policy.
+// function to the replacement policy. Snapshots are sequence-numbered
+// under the registry lock; a snapshot that lost a race to a newer one
+// is discarded, so the policy always ends up with the weights of the
+// newest registry state.
 func (sp *SharedPool) setUserQuery(id int, w QueryWeights) {
 	sp.mu.Lock()
 	if w == nil {
@@ -74,7 +123,16 @@ func (sp *SharedPool) setUserQuery(id int, w QueryWeights) {
 	for _, uw := range sp.weights {
 		views = append(views, uw)
 	}
+	sp.seq++
+	seq := sp.seq
 	sp.mu.Unlock()
+
+	sp.applyMu.Lock()
+	defer sp.applyMu.Unlock()
+	if seq <= sp.appliedSeq {
+		return // a newer registry snapshot has already been applied
+	}
+	sp.appliedSeq = seq
 	sp.mgr.SetQuery(func(t postings.TermID) float64 {
 		max := 0.0
 		for _, uw := range views {
@@ -92,8 +150,11 @@ type UserView struct {
 	id   int
 }
 
-// Get implements Pool.
+// Get fixes a page in the shared pool; the caller must Unpin it.
 func (uv *UserView) Get(id postings.PageID) (*Frame, error) { return uv.pool.mgr.Get(id) }
+
+// Fetch implements Pool.
+func (uv *UserView) Fetch(id postings.PageID) (*Frame, bool, error) { return uv.pool.mgr.Fetch(id) }
 
 // Unpin implements Pool.
 func (uv *UserView) Unpin(f *Frame) { uv.pool.mgr.Unpin(f) }

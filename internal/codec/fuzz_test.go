@@ -1,0 +1,60 @@
+package codec
+
+import (
+	"testing"
+
+	"bufir/internal/postings"
+)
+
+// FuzzCodecRoundTrip throws arbitrary bytes at DecodePage. Anything
+// that decodes successfully and satisfies the frequency-sorted
+// invariant must re-encode and decode back to the identical entries;
+// everything else must be rejected with an error, never a panic or an
+// out-of-range read. Seed corpus: testdata/fuzz/FuzzCodecRoundTrip.
+func FuzzCodecRoundTrip(f *testing.F) {
+	// Valid encodings of representative pages.
+	for _, page := range [][]postings.Entry{
+		{{Doc: 0, Freq: 1}},
+		{{Doc: 3, Freq: 5}, {Doc: 7, Freq: 5}, {Doc: 2, Freq: 2}},
+		{{Doc: 10, Freq: 9}, {Doc: 11, Freq: 9}, {Doc: 12, Freq: 9}, {Doc: 0, Freq: 1}, {Doc: 40000, Freq: 1}},
+	} {
+		enc, err := EncodePage(page)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	// Malformed inputs.
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte("codec"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodePage(data, nil)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		if len(entries) == 0 {
+			t.Fatal("DecodePage succeeded with zero entries")
+		}
+		enc, err := EncodePage(entries)
+		if err != nil {
+			// Decodable but non-canonical (e.g. adjacent runs of equal
+			// frequency, or value truncation): not re-encodable, fine.
+			return
+		}
+		back, err := DecodePage(enc, nil)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(back) != len(entries) {
+			t.Fatalf("round trip length %d, want %d", len(back), len(entries))
+		}
+		for i := range entries {
+			if back[i] != entries[i] {
+				t.Fatalf("entry %d: round trip %+v, want %+v", i, back[i], entries[i])
+			}
+		}
+	})
+}

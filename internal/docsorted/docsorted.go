@@ -121,7 +121,6 @@ func (e *Evaluator) Evaluate(strategy Strategy, q eval.Query) (*Result, error) {
 
 	res := &Result{}
 	acc := make(map[postings.DocID]float64, 256)
-	startMisses := e.Buf.Stats().Misses
 	limited := false // Quit/Continue switch has tripped
 
 	for _, qt := range ordered {
@@ -132,11 +131,14 @@ func (e *Evaluator) Evaluate(strategy Strategy, q eval.Query) (*Result, error) {
 		wqt := rank.QueryWeight(qt.Fqt, tm.IDF)
 		res.TermsProcessed++
 		for p := 0; p < tm.NumPages; p++ {
-			frame, err := e.Buf.Get(e.Idx.PageOf(qt.Term, p))
+			frame, missed, err := e.Buf.Fetch(e.Idx.PageOf(qt.Term, p))
 			if err != nil {
 				return nil, fmt.Errorf("docsorted: term %q page %d: %w", tm.Name, p, err)
 			}
 			res.PagesProcessed++
+			if missed {
+				res.PagesRead++
+			}
 			for _, entry := range frame.Data() {
 				res.EntriesProcessed++
 				if old, ok := acc[entry.Doc]; ok {
@@ -157,6 +159,5 @@ func (e *Evaluator) Evaluate(strategy Strategy, q eval.Query) (*Result, error) {
 
 	res.Top = rank.TopN(acc, e.Idx.DocLen, e.TopN)
 	res.Accumulators = len(acc)
-	res.PagesRead = int(e.Buf.Stats().Misses - startMisses)
 	return res, nil
 }

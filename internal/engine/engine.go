@@ -1,0 +1,244 @@
+// Package engine implements the concurrent serving layer: a worker
+// pool of goroutines executing a stream of (user, query) requests
+// against one shared buffer pool — the multi-user serving shape the
+// paper's §3.3 leaves as future work, built here on three guarantees
+// from the layers below:
+//
+//   - per-session evaluator state is call-confined (internal/eval), so
+//     one evaluator per user is re-entrant;
+//   - the shared pool's latches are sharded by page hash and disk
+//     reads happen outside the latch (internal/buffer.ShardedManager),
+//     so workers overlap I/O instead of convoying;
+//   - all counters are atomic (internal/metrics.ServingCounters,
+//     buffer and storage stats), so experiment numbers stay exact
+//     under parallelism.
+//
+// Ordering model: requests of the same user execute in submission
+// order (a user's refinement step must see the previous step's
+// answer); requests of different users run in parallel, bounded by the
+// worker count. With one worker, execution order is exactly global
+// submission order, which is how the single-worker configuration
+// reproduces the serial experiments bit-for-bit.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bufir/internal/buffer"
+	"bufir/internal/eval"
+	"bufir/internal/metrics"
+	"bufir/internal/postings"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers is the number of serving goroutines (>= 1).
+	Workers int
+	// Algo is the evaluation algorithm every session runs.
+	Algo eval.Algorithm
+	// Params are the evaluator tuning knobs shared by all sessions.
+	Params eval.Params
+	// QueueDepth bounds the number of submitted-but-unfinished
+	// requests before Submit blocks (0 = 4×Workers, minimum 64).
+	QueueDepth int
+}
+
+// Job is one submitted request. Wait blocks until it completes.
+type Job struct {
+	User  int
+	Query eval.Query
+
+	us   *userState
+	prev <-chan struct{} // previous job of the same user (nil if none)
+	done chan struct{}
+
+	res     *eval.Result
+	err     error
+	service time.Duration
+}
+
+// Wait blocks until the job has executed and returns its result.
+func (j *Job) Wait() (*eval.Result, error) {
+	<-j.done
+	return j.res, j.err
+}
+
+// Service returns the job's service time (dequeue to completion),
+// valid after Wait returns.
+func (j *Job) Service() time.Duration { return j.service }
+
+// userState is one user's session: a registry view on the shared pool
+// and a (re-entrant) evaluator. tail chains the user's jobs so they
+// execute in submission order.
+type userState struct {
+	view *buffer.UserView
+	ev   *eval.Evaluator
+	tail chan struct{}
+}
+
+// Engine is the concurrent query engine. Create with New, submit with
+// Submit or Search (from any number of goroutines), and Close when
+// done so sessions withdraw from the shared pool's query registry.
+type Engine struct {
+	pool *buffer.SharedPool
+	ix   *postings.Index
+	conv *postings.ConversionTable
+	cfg  Config
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	users  map[int]*userState
+	closed bool
+
+	counters metrics.ServingCounters
+}
+
+// New starts an engine with cfg.Workers goroutines serving queries
+// against the shared pool.
+func New(ix *postings.Index, conv *postings.ConversionTable, pool *buffer.SharedPool, cfg Config) (*Engine, error) {
+	if ix == nil || conv == nil || pool == nil {
+		return nil, errors.New("engine: nil index, conversion table or pool")
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("engine: workers %d < 1", cfg.Workers)
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 4 * cfg.Workers
+		if depth < 64 {
+			depth = 64
+		}
+	}
+	e := &Engine{
+		pool:  pool,
+		ix:    ix,
+		conv:  conv,
+		cfg:   cfg,
+		queue: make(chan *Job, depth),
+		users: make(map[int]*userState),
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e, nil
+}
+
+// Submit enqueues a request and returns its Job handle. It blocks only
+// when the queue is full. Safe for concurrent use.
+//
+// Chaining and enqueueing happen atomically under e.mu, so a user's
+// queue order always equals their chain order — a parked worker's
+// predecessor is therefore always ahead of it in the FIFO queue,
+// already held by some worker (or done). Workers never take e.mu, so
+// blocking on a full queue while holding it cannot stall the drain.
+func (e *Engine) Submit(user int, q eval.Query) (*Job, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, errors.New("engine: closed")
+	}
+	us, err := e.userLocked(user)
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{User: user, Query: q, us: us, prev: us.tail, done: make(chan struct{})}
+	us.tail = j.done
+	e.queue <- j
+	return j, nil
+}
+
+// Search is Submit followed by Wait.
+func (e *Engine) Search(user int, q eval.Query) (*eval.Result, error) {
+	j, err := e.Submit(user, q)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait()
+}
+
+// userLocked returns (creating on first use) user's session. Caller
+// holds e.mu.
+func (e *Engine) userLocked(user int) (*userState, error) {
+	if us, ok := e.users[user]; ok {
+		return us, nil
+	}
+	view := e.pool.UserView(user)
+	ev, err := eval.NewEvaluator(e.ix, view, e.conv, e.cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	us := &userState{view: view, ev: ev}
+	e.users[user] = us
+	return us, nil
+}
+
+// worker drains the queue. A job whose same-user predecessor is still
+// running parks until it finishes: predecessors are always earlier in
+// the FIFO queue, so they are already assigned to some worker (or
+// done) and progress is guaranteed — no deadlock, and per-user order
+// holds for free.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		if j.prev != nil {
+			<-j.prev
+		}
+		start := time.Now()
+		res, err := j.us.ev.Evaluate(e.cfg.Algo, j.Query)
+		j.service = time.Since(start)
+		j.res, j.err = res, err
+
+		e.counters.Queries.Add(1)
+		e.counters.ServiceNanos.Add(int64(j.service))
+		if err != nil {
+			e.counters.Errors.Add(1)
+		} else {
+			e.counters.PagesRead.Add(int64(res.PagesRead))
+			e.counters.PagesProcessed.Add(int64(res.PagesProcessed))
+			e.counters.EntriesProcessed.Add(int64(res.EntriesProcessed))
+		}
+		close(j.done)
+	}
+}
+
+// Counters returns a snapshot of the engine's atomic serving counters.
+func (e *Engine) Counters() metrics.ServingSnapshot {
+	return e.counters.Snapshot()
+}
+
+// BufferStats returns the shared pool's counters.
+func (e *Engine) BufferStats() buffer.Stats { return e.pool.Manager().Stats() }
+
+// Pool returns the shared pool the engine serves from.
+func (e *Engine) Pool() *buffer.SharedPool { return e.pool }
+
+// Close drains the queue, stops the workers, and withdraws every
+// session from the shared registry. Submitting after Close fails;
+// Close is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+
+	close(e.queue)
+	e.wg.Wait()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, us := range e.users {
+		us.view.Close()
+	}
+}

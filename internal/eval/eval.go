@@ -168,7 +168,12 @@ type Result struct {
 }
 
 // Evaluator evaluates queries against an index through a buffer
-// manager. It is not safe for concurrent use; create one per session.
+// manager. Its fields are read-only after construction and every
+// Evaluate call keeps its accumulation state (S_max, accumulators,
+// thresholds, counters) in call-confined storage, so an Evaluator is
+// re-entrant: concurrent Evaluate calls are safe whenever Buf is (all
+// Pool implementations in internal/buffer are). Per-user sessions
+// still serialize their own refinement steps for ordering, not safety.
 type Evaluator struct {
 	Idx    *postings.Index
 	Buf    buffer.Pool
@@ -202,9 +207,8 @@ func (e *Evaluator) Evaluate(algo Algorithm, q Query) (*Result, error) {
 	e.Buf.SetQuery(func(t postings.TermID) float64 { return weights[t] })
 
 	st := &evalState{
-		acc:   make(map[postings.DocID]float64, 64),
-		res:   &Result{},
-		start: e.Buf.Stats(),
+		acc: make(map[postings.DocID]float64, 64),
+		res: &Result{},
 	}
 	var err error
 	switch algo {
@@ -225,8 +229,6 @@ func (e *Evaluator) Evaluate(algo Algorithm, q Query) (*Result, error) {
 	st.res.Top = rank.TopN(st.acc, e.Idx.DocLen, e.Params.TopN)
 	st.res.Accumulators = len(st.acc)
 	st.res.Smax = st.smax
-	end := e.Buf.Stats()
-	st.res.PagesRead = int(end.Misses - st.start.Misses)
 	return st.res, nil
 }
 
@@ -250,12 +252,14 @@ func (e *Evaluator) checkQuery(q Query) error {
 	return nil
 }
 
-// evalState carries the shared accumulation state across terms.
+// evalState carries the accumulation state across terms. All of it is
+// confined to one Evaluate call: nothing here is read from shared pool
+// counters, which is what makes sessions re-entrant and their
+// statistics exact when many queries run in parallel on one pool.
 type evalState struct {
-	acc   map[postings.DocID]float64
-	smax  float64
-	res   *Result
-	start buffer.Stats
+	acc  map[postings.DocID]float64
+	smax float64
+	res  *Result
 }
 
 // thresholds computes (f_ins, f_add) for term t per Equation 5:
@@ -310,15 +314,17 @@ func (e *Evaluator) processTerm(qt QueryTerm, estReads int, st *evalState) error
 	}
 
 	wqt := rank.QueryWeight(qt.Fqt, tm.IDF)
-	missBefore := e.Buf.Stats().Misses
 
 scan:
 	for i := 0; i < tm.NumPages; i++ {
-		frame, err := e.Buf.Get(e.Idx.PageOf(qt.Term, i))
+		frame, missed, err := e.Buf.Fetch(e.Idx.PageOf(qt.Term, i))
 		if err != nil {
 			return fmt.Errorf("eval: term %q page %d: %w", tm.Name, i, err)
 		}
 		tr.PagesProcessed++
+		if missed {
+			tr.PagesRead++
+		}
 		entries := frame.Data()
 		for _, entry := range entries {
 			tr.EntriesProcessed++
@@ -351,7 +357,7 @@ scan:
 		e.Buf.Unpin(frame)
 	}
 
-	tr.PagesRead = int(e.Buf.Stats().Misses - missBefore)
+	st.res.PagesRead += tr.PagesRead
 	st.res.PagesProcessed += tr.PagesProcessed
 	st.res.EntriesProcessed += tr.EntriesProcessed
 	st.res.Trace = append(st.res.Trace, tr)

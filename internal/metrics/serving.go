@@ -1,0 +1,51 @@
+package metrics
+
+import "sync/atomic"
+
+// ServingCounters is the atomic counter set of the concurrent serving
+// layer. Workers on every goroutine add to it lock-free; snapshots are
+// exact at quiescence (after all in-flight queries drain), which is
+// when experiments read them. Keeping these atomic — rather than
+// summing per-worker locals — is what lets QPS/latency experiments
+// report the same entry and page counts regardless of worker count.
+type ServingCounters struct {
+	Queries          atomic.Int64
+	Errors           atomic.Int64
+	PagesRead        atomic.Int64
+	PagesProcessed   atomic.Int64
+	EntriesProcessed atomic.Int64
+	// ServiceNanos accumulates per-query service time (dequeue to
+	// completion), the numerator of mean latency.
+	ServiceNanos atomic.Int64
+}
+
+// ServingSnapshot is a point-in-time copy of ServingCounters.
+type ServingSnapshot struct {
+	Queries          int64
+	Errors           int64
+	PagesRead        int64
+	PagesProcessed   int64
+	EntriesProcessed int64
+	ServiceNanos     int64
+}
+
+// Snapshot copies the counters.
+func (c *ServingCounters) Snapshot() ServingSnapshot {
+	return ServingSnapshot{
+		Queries:          c.Queries.Load(),
+		Errors:           c.Errors.Load(),
+		PagesRead:        c.PagesRead.Load(),
+		PagesProcessed:   c.PagesProcessed.Load(),
+		EntriesProcessed: c.EntriesProcessed.Load(),
+		ServiceNanos:     c.ServiceNanos.Load(),
+	}
+}
+
+// MeanServiceMicros returns the mean per-query service time in
+// microseconds (0 when no queries completed).
+func (s ServingSnapshot) MeanServiceMicros() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.ServiceNanos) / float64(s.Queries) / 1e3
+}

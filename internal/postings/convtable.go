@@ -1,5 +1,7 @@
 package postings
 
+import "sync/atomic"
+
 // ConversionTable is the memory-resident f_add -> p_t table of §3.2.2:
 // for each term it answers "how many pages of this term's inverted
 // list will a scan with addition threshold f_add process?".
@@ -19,8 +21,10 @@ type ConversionTable struct {
 	// MaxKey is the largest tabulated integer threshold.
 	MaxKey int
 	// lookups counts Pages calls, mirroring the paper's T(T+1)/2
-	// accounting of selection-round work.
-	lookups int64
+	// accounting of selection-round work. Atomic: one table is shared
+	// by every concurrent session (the rows themselves are immutable
+	// after construction).
+	lookups atomic.Int64
 }
 
 // DefaultMaxKey tabulates thresholds 0..10, the useful range the paper
@@ -63,7 +67,7 @@ func NewConversionTable(ix *Index, maxKey int) *ConversionTable {
 // f_dt > fadd iff f_dt >= floor(fadd)+1, so the table is keyed by
 // floor(fadd).
 func (ct *ConversionTable) Pages(t TermID, fadd float64) int {
-	ct.lookups++
+	ct.lookups.Add(1)
 	row := ct.rows[t]
 	if row == nil {
 		return 1 // single-page list
@@ -83,10 +87,10 @@ func (ct *ConversionTable) Pages(t TermID, fadd float64) int {
 // Lookups returns the number of Pages calls made so far (conversion
 // table pressure; the paper notes BAF performs T(T+1)/2 of these per
 // query in the worst case).
-func (ct *ConversionTable) Lookups() int64 { return ct.lookups }
+func (ct *ConversionTable) Lookups() int64 { return ct.lookups.Load() }
 
 // ResetLookups zeroes the lookup counter.
-func (ct *ConversionTable) ResetLookups() { ct.lookups = 0 }
+func (ct *ConversionTable) ResetLookups() { ct.lookups.Store(0) }
 
 // SizeBytes reports the memory footprint of the tabulated rows in
 // bytes (2 bytes per cell), the quantity the paper sizes at ~121 KB

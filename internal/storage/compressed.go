@@ -2,7 +2,6 @@ package storage
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"bufir/internal/codec"
@@ -18,7 +17,7 @@ import (
 // page representation; decoded pages live in the buffer pool, encoded
 // pages on "disk".
 type CompressedStore struct {
-	mu    sync.RWMutex
+	// pages is immutable after construction; reads are lock-free.
 	pages [][]byte
 	stats codec.Stats
 
@@ -36,17 +35,11 @@ func NewCompressedStore(pages [][]postings.Entry) (*CompressedStore, error) {
 }
 
 // NumPages returns the number of pages.
-func (s *CompressedStore) NumPages() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.pages)
-}
+func (s *CompressedStore) NumPages() int { return len(s.pages) }
 
 // Read fetches and decompresses a page, counting both the page read
 // and the entries decoded.
 func (s *CompressedStore) Read(id postings.PageID) ([]postings.Entry, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if int(id) < 0 || int(id) >= len(s.pages) {
 		return nil, fmt.Errorf("storage: page %d out of range [0,%d)", id, len(s.pages))
 	}
@@ -62,8 +55,6 @@ func (s *CompressedStore) Read(id postings.PageID) ([]postings.Entry, error) {
 // ReadQuiet decompresses a page without touching the counters (the
 // offline workload-construction path).
 func (s *CompressedStore) ReadQuiet(id postings.PageID) ([]postings.Entry, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if int(id) < 0 || int(id) >= len(s.pages) {
 		return nil, fmt.Errorf("storage: page %d out of range [0,%d)", id, len(s.pages))
 	}

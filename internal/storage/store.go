@@ -8,8 +8,8 @@ package storage
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
+	"time"
 
 	"bufir/internal/postings"
 )
@@ -26,11 +26,20 @@ type PageSource interface {
 }
 
 // Store is a paged read-only store of inverted-list pages, indexed by
-// PageID. It is safe for concurrent use.
+// PageID. The page slice is immutable after construction, so reads
+// take no lock at all — the store is safe for any degree of
+// concurrency and never convoys the buffer manager's shards.
 type Store struct {
-	mu    sync.RWMutex
 	pages [][]postings.Entry
 	reads atomic.Int64
+
+	// latencyNanos, when positive, makes every counted Read sleep that
+	// long — the wall-clock realization of the paper's disk cost model
+	// (§4.1; metrics.CostModel charges time per page read). Concurrency
+	// experiments use it so worker pools have real I/O waits to
+	// overlap; it is zero (off) everywhere else, leaving read counts
+	// and test runtimes untouched.
+	latencyNanos atomic.Int64
 
 	// faultEvery, when positive, makes every faultEvery-th read fail
 	// with ErrInjectedFault. Used by failure-injection tests to verify
@@ -54,17 +63,11 @@ func NewStore(pages [][]postings.Entry) *Store {
 }
 
 // NumPages returns the number of pages in the store.
-func (s *Store) NumPages() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.pages)
-}
+func (s *Store) NumPages() int { return len(s.pages) }
 
 // Read fetches a page, incrementing the disk-read counter. The
 // returned slice must be treated as immutable.
 func (s *Store) Read(id postings.PageID) ([]postings.Entry, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if int(id) < 0 || int(id) >= len(s.pages) {
 		return nil, fmt.Errorf("storage: page %d out of range [0,%d)", id, len(s.pages))
 	}
@@ -74,16 +77,17 @@ func (s *Store) Read(id postings.PageID) ([]postings.Entry, error) {
 		}
 	}
 	s.reads.Add(1)
+	if d := s.latencyNanos.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
 	return s.pages[id], nil
 }
 
-// ReadQuiet fetches a page without touching the disk-read counter.
-// It exists for workload construction (term-contribution ranking) and
-// index maintenance, which the paper performs offline and does not
-// charge to query execution.
+// ReadQuiet fetches a page without touching the disk-read counter or
+// the simulated latency. It exists for workload construction
+// (term-contribution ranking) and index maintenance, which the paper
+// performs offline and does not charge to query execution.
 func (s *Store) ReadQuiet(id postings.PageID) ([]postings.Entry, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if int(id) < 0 || int(id) >= len(s.pages) {
 		return nil, fmt.Errorf("storage: page %d out of range [0,%d)", id, len(s.pages))
 	}
@@ -95,6 +99,13 @@ func (s *Store) Reads() int64 { return s.reads.Load() }
 
 // ResetReads zeroes the read counter (used between experiment runs).
 func (s *Store) ResetReads() { s.reads.Store(0) }
+
+// SetReadLatency makes every counted Read block for d of wall-clock
+// time, simulating the disk the paper's cost model charges for;
+// d <= 0 disables the simulation. Read counts are unaffected.
+func (s *Store) SetReadLatency(d time.Duration) {
+	s.latencyNanos.Store(int64(d))
+}
 
 // InjectFaultEvery makes every n-th Read return ErrInjectedFault;
 // n <= 0 disables injection.

@@ -1,7 +1,6 @@
 package bufir
 
 import (
-	"fmt"
 	"sync"
 
 	"bufir/internal/buffer"
@@ -25,18 +24,14 @@ type SharedSessionPool struct {
 // NewSharedSessionPool creates a shared pool of the given page
 // capacity over the index.
 func (ix *Index) NewSharedSessionPool(bufferPages int, policy Policy) (*SharedSessionPool, error) {
-	var pol buffer.Policy
-	switch policy {
-	case LRU:
-		pol = buffer.NewLRU()
-	case MRU:
-		pol = buffer.NewMRU()
-	case RAP, "":
-		pol = buffer.NewRAP()
-	default:
-		return nil, fmt.Errorf("bufir: unknown policy %q", policy)
+	if policy == "" {
+		policy = RAP
 	}
-	pool, err := buffer.NewSharedPool(bufferPages, ix.store, ix.ix, pol)
+	newPolicy, err := policyFactory(policy)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := buffer.NewSharedPool(bufferPages, ix.store, ix.ix, newPolicy())
 	if err != nil {
 		return nil, err
 	}
@@ -77,9 +72,13 @@ func (sp *SharedSessionPool) BufferStats() BufferStats {
 	return sp.pool.Manager().Stats()
 }
 
-// SharedSession is one user's session on a SharedSessionPool. It is
-// not safe for concurrent use by multiple goroutines; different
-// sessions of the same pool may run concurrently.
+// SharedSession is one user's session on a SharedSessionPool. Its
+// evaluator state is confined to each Search call, so different
+// sessions of the same pool run fully in parallel (the pool's
+// internals are latched and its counters atomic). A single session
+// must still be driven by one goroutine at a time — its refinement
+// steps build on each other; use Engine for a managed worker pool
+// that enforces per-user ordering automatically.
 type SharedSession struct {
 	ev   *eval.Evaluator
 	view *buffer.UserView

@@ -1,13 +1,24 @@
 # Tier-1 gate and development targets. `make ci` is the full gate run
-# before every merge: vet, build, the whole test suite twice (plain and
+# before every merge: lint (staticcheck when installed, vet otherwise,
+# plus a gofmt check), build, the whole test suite twice (plain and
 # -race, the race run covering the 16-goroutine engine stress tests),
+# the goroutine/frame leak assertions of the request-lifecycle tests,
 # and the fuzz seed corpora under testdata/fuzz.
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-seeds fuzz bench concurrency
+.PHONY: ci lint vet build test race leaks fuzz-seeds fuzz bench concurrency
 
-ci: vet build test race fuzz-seeds
+ci: lint build test race leaks fuzz-seeds
+
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo staticcheck ./...; staticcheck ./...; \
+	else \
+		echo "$(GO) vet ./... (staticcheck not installed)"; $(GO) vet ./...; \
+	fi
+	@out=$$(gofmt -l . 2>/dev/null); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +31,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Leak gate: cancellation/shutdown under -race must leave zero pinned
+# frames, zero registry entries and no worker goroutines behind.
+leaks:
+	$(GO) test -race -count=1 \
+		-run 'TestCancelMidEvaluationNoLeaks|TestShutdownDeadline|TestCancelMidScanReturnsPartial|TestEngineRequestLifecycle' \
+		./internal/engine ./internal/eval .
 
 # Replays the checked-in seed corpora (testdata/fuzz/**) plus the f.Add
 # seeds through every fuzz target, without engaging the fuzzing engine.

@@ -228,7 +228,7 @@ func benchSearch(b *testing.B, algo Algorithm, flush bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	s, err := ix.NewSession(SessionConfig{Algorithm: algo, Policy: RAP, BufferPages: 512})
+	s, err := ix.NewSession(SessionConfig{EvalOptions: EvalOptions{Algorithm: algo}, Policy: RAP, BufferPages: 512})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -288,7 +288,8 @@ func BenchmarkConcurrentMultiUser(b *testing.B) {
 	var pagesRead int64
 	for i := 0; i < b.N; i++ {
 		eng, err := ix.NewEngine(EngineConfig{
-			Workers: 8, Shards: 8, BufferPages: 128, Algorithm: BAF,
+			EvalOptions: EvalOptions{Algorithm: BAF},
+			Workers:     8, Shards: 8, BufferPages: 128,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -424,7 +425,7 @@ func BenchmarkCompressedSearch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	s, err := ix.NewSession(SessionConfig{Algorithm: BAF, Policy: RAP, BufferPages: 512})
+	s, err := ix.NewSession(SessionConfig{EvalOptions: EvalOptions{Algorithm: BAF}, Policy: RAP, BufferPages: 512})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bufir
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -241,7 +242,7 @@ func IndexDocuments(docs []Document, opts IndexOptions) (*Index, error) {
 // built with IndexOptions.Positional.
 func (ix *Index) PhraseDocs(terms []string) ([]DocID, error) {
 	if ix.positional == nil {
-		return nil, fmt.Errorf("bufir: index was built without positional data")
+		return nil, ErrNoPositional
 	}
 	return ix.positional.Phrase(terms)
 }
@@ -250,7 +251,7 @@ func (ix *Index) PhraseDocs(terms []string) ([]DocID, error) {
 // within k positions of each other. Requires IndexOptions.Positional.
 func (ix *Index) NearDocs(a, b string, k int) ([]DocID, error) {
 	if ix.positional == nil {
-		return nil, fmt.Errorf("bufir: index was built without positional data")
+		return nil, ErrNoPositional
 	}
 	return ix.positional.Near(a, b, k)
 }
@@ -378,26 +379,16 @@ func sortQuery(q Query) {
 	}
 }
 
-// SessionConfig configures a search Session.
+// SessionConfig configures a search Session. The evaluation knobs
+// live in the embedded EvalOptions; with CAdd and CIns both zero a
+// session defaults to the paper's WSJ tuning (0.002 / 0.07).
 type SessionConfig struct {
-	// Algorithm is DF or BAF (default DF).
-	Algorithm Algorithm
+	// EvalOptions are the evaluation knobs shared with EngineConfig.
+	EvalOptions
 	// Policy is the buffer replacement policy (default LRU).
 	Policy Policy
 	// BufferPages is the buffer pool size in pages (default 128).
 	BufferPages int
-	// CAdd and CIns are the filtering constants; both zero selects the
-	// paper's tuning (0.002 / 0.07). Set Unfiltered to run exhaustive
-	// evaluation instead.
-	CAdd, CIns float64
-	// Unfiltered disables the unsafe optimization entirely (safe,
-	// exhaustive evaluation).
-	Unfiltered bool
-	// TopN is the result size n (default 20).
-	TopN int
-	// ForceFirstPage guarantees at least one page of every query term
-	// is processed (the paper's fix for ignored refinement terms).
-	ForceFirstPage bool
 }
 
 // Session is a search session: an Index plus a private buffer pool.
@@ -414,9 +405,6 @@ func (ix *Index) NewSession(cfg SessionConfig) (*Session, error) {
 	if cfg.BufferPages == 0 {
 		cfg.BufferPages = 128
 	}
-	if cfg.TopN == 0 {
-		cfg.TopN = 20
-	}
 	if cfg.Policy == "" {
 		cfg.Policy = LRU
 	}
@@ -425,15 +413,9 @@ func (ix *Index) NewSession(cfg SessionConfig) (*Session, error) {
 		return nil, err
 	}
 	pol := newPolicy()
-	params := eval.Params{
-		CAdd:           cfg.CAdd,
-		CIns:           cfg.CIns,
-		TopN:           cfg.TopN,
-		ForceFirstPage: cfg.ForceFirstPage,
-	}
-	if !cfg.Unfiltered && params.CAdd == 0 && params.CIns == 0 {
-		pp := eval.PaperParams()
-		params.CAdd, params.CIns = pp.CAdd, pp.CIns
+	params, err := cfg.params(eval.PaperParams())
+	if err != nil {
+		return nil, err
 	}
 	mgr, err := buffer.NewManager(cfg.BufferPages, ix.store, ix.ix, pol)
 	if err != nil {
@@ -449,7 +431,16 @@ func (ix *Index) NewSession(cfg SessionConfig) (*Session, error) {
 // Search evaluates a query and returns the ranked answer with
 // execution statistics.
 func (s *Session) Search(q Query) (*Result, error) {
-	return s.ev.Evaluate(s.algo, q)
+	return s.SearchContext(context.Background(), q)
+}
+
+// SearchContext is Search bound to a context, checked at every term
+// round and page boundary: canceling it (or an expiring deadline)
+// stops the evaluation within one page read. On a context error the
+// anytime partial answer is returned alongside it (Result.Partial
+// set); see Result.
+func (s *Session) SearchContext(ctx context.Context, q Query) (*Result, error) {
+	return s.ev.EvaluateContext(ctx, s.algo, q)
 }
 
 // SearchText parses free text through the index's pipeline and
@@ -458,12 +449,18 @@ func (s *Session) Search(q Query) (*Result, error) {
 // ranked answer is filtered to documents containing every quoted
 // phrase exactly.
 func (s *Session) SearchText(text string) (*Result, error) {
+	return s.SearchTextContext(context.Background(), text)
+}
+
+// SearchTextContext is SearchText bound to a context (see
+// SearchContext for the cancellation contract).
+func (s *Session) SearchTextContext(ctx context.Context, text string) (*Result, error) {
 	phrases, stripped := extractPhrases(text)
 	q, err := s.ix.ParseQuery(stripped)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.Search(q)
+	res, err := s.SearchContext(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -471,7 +468,10 @@ func (s *Session) SearchText(text string) (*Result, error) {
 		return res, nil
 	}
 	if s.ix.positional == nil {
-		return nil, fmt.Errorf("bufir: phrase query needs an index built with IndexOptions.Positional")
+		return nil, &hintedErr{
+			msg:  "bufir: phrase query needs an index built with IndexOptions.Positional",
+			base: ErrNoPositional,
+		}
 	}
 	allowed, err := s.ix.phraseFilter(phrases)
 	if err != nil {

@@ -61,7 +61,7 @@ func TestSessionSearch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := ix.NewSession(SessionConfig{Algorithm: BAF, Policy: RAP, BufferPages: 64})
+	s, err := ix.NewSession(SessionConfig{EvalOptions: EvalOptions{Algorithm: BAF}, Policy: RAP, BufferPages: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestDFRankingBufferIndependent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := ix.NewSession(SessionConfig{Algorithm: DF, Policy: LRU, BufferPages: 48})
+	s, err := ix.NewSession(SessionConfig{EvalOptions: EvalOptions{Algorithm: DF}, Policy: LRU, BufferPages: 48})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestSessionDefaultsAndValidation(t *testing.T) {
 		t.Error("unknown policy should fail")
 	}
 	// Unfiltered session runs exhaustive evaluation.
-	su, err := ix.NewSession(SessionConfig{Unfiltered: true, BufferPages: 2048})
+	su, err := ix.NewSession(SessionConfig{EvalOptions: EvalOptions{Unfiltered: true}, BufferPages: 2048})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestUnfilteredReadsMore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, _ := ix.NewSession(SessionConfig{Unfiltered: true, BufferPages: 4096})
+	full, _ := ix.NewSession(SessionConfig{EvalOptions: EvalOptions{Unfiltered: true}, BufferPages: 4096})
 	filt, _ := ix.NewSession(SessionConfig{BufferPages: 4096})
 	fres, err := full.Search(q)
 	if err != nil {
@@ -216,7 +216,7 @@ func TestRefinementSequenceAPI(t *testing.T) {
 	}
 	// Run the sequence through a session; disk reads must be positive
 	// and the API's relevance metric must work.
-	s, err := ix.NewSession(SessionConfig{Algorithm: BAF, Policy: RAP, BufferPages: 100})
+	s, err := ix.NewSession(SessionConfig{EvalOptions: EvalOptions{Algorithm: BAF}, Policy: RAP, BufferPages: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestIndexDocumentsAndSearchText(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := ix.NewSession(SessionConfig{Algorithm: BAF, Policy: RAP, BufferPages: 64, Unfiltered: true})
+	s, err := ix.NewSession(SessionConfig{EvalOptions: EvalOptions{Algorithm: BAF, Unfiltered: true}, Policy: RAP, BufferPages: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,12 +305,12 @@ func TestSharedSessionPool(t *testing.T) {
 	q0, _ := ix.TopicQuery(col.Topics[0])
 	q1, _ := ix.TopicQuery(col.Topics[1])
 
-	s0, err := pool.NewSession(SessionConfig{Algorithm: BAF})
+	s0, err := pool.NewSession(SessionConfig{EvalOptions: EvalOptions{Algorithm: BAF}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s0.Close()
-	s1, err := pool.NewSession(SessionConfig{Algorithm: BAF})
+	s1, err := pool.NewSession(SessionConfig{EvalOptions: EvalOptions{Algorithm: BAF}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +324,7 @@ func TestSharedSessionPool(t *testing.T) {
 	}
 	// A second user running the SAME topic must profit from user 0's
 	// cached pages.
-	s2, err := pool.NewSession(SessionConfig{Algorithm: BAF})
+	s2, err := pool.NewSession(SessionConfig{EvalOptions: EvalOptions{Algorithm: BAF}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,7 +403,7 @@ func TestCompressedIndexEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		run := func(ix *Index) *Result {
-			s, err := ix.NewSession(SessionConfig{Algorithm: DF, Policy: RAP, BufferPages: 64})
+			s, err := ix.NewSession(SessionConfig{EvalOptions: EvalOptions{Algorithm: DF}, Policy: RAP, BufferPages: 64})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -451,7 +451,7 @@ func TestIndexSaveOpen(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func(i *Index) *Result {
-		s, err := i.NewSession(SessionConfig{Algorithm: DF, Policy: RAP, BufferPages: 64})
+		s, err := i.NewSession(SessionConfig{EvalOptions: EvalOptions{Algorithm: DF}, Policy: RAP, BufferPages: 64})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -490,7 +490,7 @@ func TestDocumentIndexSaveOpenKeepsTextSearch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := loaded.NewSession(SessionConfig{Unfiltered: true, BufferPages: 32})
+	s, err := loaded.NewSession(SessionConfig{EvalOptions: EvalOptions{Unfiltered: true}, BufferPages: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -521,7 +521,7 @@ func TestBuildFeedbackSequence(t *testing.T) {
 		t.Errorf("feedback never expanded the query: %d terms", len(last))
 	}
 	// Sequences run fine through a session.
-	s, err := ix.NewSession(SessionConfig{Algorithm: BAF, Policy: RAP, BufferPages: 64})
+	s, err := ix.NewSession(SessionConfig{EvalOptions: EvalOptions{Algorithm: BAF}, Policy: RAP, BufferPages: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -542,7 +542,7 @@ func TestPhraseSearch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := ix.NewSession(SessionConfig{Unfiltered: true, BufferPages: 64})
+	s, err := ix.NewSession(SessionConfig{EvalOptions: EvalOptions{Unfiltered: true}, BufferPages: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -582,7 +582,7 @@ func TestPhraseSearch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ps, _ := plain.NewSession(SessionConfig{Unfiltered: true})
+	ps, _ := plain.NewSession(SessionConfig{EvalOptions: EvalOptions{Unfiltered: true}})
 	if _, err := ps.SearchText(`"stock market"`); err == nil {
 		t.Error("phrase query without positional index should fail")
 	}
@@ -627,7 +627,7 @@ func TestSharedSessionsConcurrent(t *testing.T) {
 	errs := make(chan error, users)
 	for u := 0; u < users; u++ {
 		go func(u int) {
-			s, err := pool.NewSession(SessionConfig{Algorithm: BAF})
+			s, err := pool.NewSession(SessionConfig{EvalOptions: EvalOptions{Algorithm: BAF}})
 			if err != nil {
 				errs <- err
 				return

@@ -11,13 +11,18 @@
 // -exp is a comma-separated subset of:
 //
 //	fig3 fig4 table4 table5 table12 table6 fig5 fig6 table7 fig7 fig8
-//	multiuser concurrency ablations baselines compression feedback
-//	docsorted weblegend boolean dualbuf summary effect
+//	multiuser concurrency lifecycle ablations baselines compression
+//	feedback docsorted weblegend boolean dualbuf summary effect
 //
 // (fig56/fig78 are aliases for the figure pairs; default "all").
 // concurrency sweeps -workers over the E12 workload with -cusers
 // sessions and -disklat simulated read latency, comparing the
-// single-latch pool against one sharded -cshards ways.
+// single-latch pool against one sharded -cshards ways. lifecycle
+// reuses -cusers/-cshards/-disklat to sweep per-request deadlines
+// (QueryTimeout with OnDeadline=Partial and a bounded admission
+// queue) across the untimed service-time distribution, reporting
+// shed/timeout/partial counters and the deadline-vs-overlap@20
+// tradeoff.
 package main
 
 import (
@@ -161,6 +166,9 @@ func main() {
 	run("multiuser", func() (formatter, error) { return env.RunMultiUser(*points) })
 	run("concurrency", func() (formatter, error) {
 		return env.RunConcurrency(*cusers, *cshards, parseWorkers(*workers), *disklat, *points)
+	})
+	run("lifecycle", func() (formatter, error) {
+		return env.RunLifecycle(*cusers, 4, *cshards, *disklat)
 	})
 	run("ablations", func() (formatter, error) { return env.RunAblations() })
 	run("baselines", func() (formatter, error) { return env.RunBaselines(*points) })

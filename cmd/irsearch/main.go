@@ -61,10 +61,9 @@ func main() {
 		log.Fatalf("unknown algorithm %q", *algo)
 	}
 	session, err := ix.NewSession(bufir.SessionConfig{
-		Algorithm:   a,
+		EvalOptions: bufir.EvalOptions{Algorithm: a, TopN: *topn},
 		Policy:      bufir.Policy(strings.ToUpper(*policy)),
 		BufferPages: *buffers,
-		TopN:        *topn,
 	})
 	if err != nil {
 		log.Fatal(err)

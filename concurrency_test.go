@@ -30,7 +30,7 @@ func addOnlySteps(q Query) []Query {
 // users run one after another on a single-worker engine.
 func runUsers(t *testing.T, ix *Index, steps [][]Query, conc bool) ([][][]ScoredDoc, int64) {
 	t.Helper()
-	cfg := EngineConfig{Workers: 1, Shards: 1, BufferPages: 8192, Algorithm: DF}
+	cfg := EngineConfig{EvalOptions: EvalOptions{Algorithm: DF}, Workers: 1, Shards: 1, BufferPages: 8192}
 	if conc {
 		cfg.Workers, cfg.Shards = 8, 8
 	}
@@ -127,7 +127,7 @@ func TestEngineStressDeterministic(t *testing.T) {
 // user's own re-accesses could produce.
 func TestEngineSharedPoolCrossUserHits(t *testing.T) {
 	col, ix := testIndex(t)
-	eng, err := ix.NewEngine(EngineConfig{Workers: 4, Shards: 4, BufferPages: 256, Algorithm: BAF})
+	eng, err := ix.NewEngine(EngineConfig{EvalOptions: EvalOptions{Algorithm: BAF}, Workers: 4, Shards: 4, BufferPages: 256})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,6 +27,10 @@
 //     disk that counts page reads);
 //   - Sessions, which pair an Index with a buffer pool of a chosen
 //     size and replacement policy and evaluate queries with DF or BAF;
+//   - Engines, which serve many users concurrently over one shared
+//     buffer pool with context-aware cancellation, per-request
+//     deadlines (optionally answered with anytime partial rankings)
+//     and bounded-queue admission control;
 //   - query-refinement workload construction (ADD-ONLY and ADD-DROP)
 //     and retrieval-effectiveness metrics.
 //
@@ -35,7 +39,7 @@
 //	col, _ := bufir.GenerateCollection(bufir.DefaultCollectionConfig(1))
 //	ix, _ := bufir.NewIndex(col)
 //	s, _ := ix.NewSession(bufir.SessionConfig{
-//		Algorithm:   bufir.BAF,
+//		EvalOptions: bufir.EvalOptions{Algorithm: bufir.BAF},
 //		Policy:      bufir.RAP,
 //		BufferPages: 200,
 //	})

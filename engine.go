@@ -1,6 +1,7 @@
 package bufir
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -10,8 +11,28 @@ import (
 	"bufir/internal/metrics"
 )
 
-// EngineConfig parameterizes a concurrent query engine.
+// DeadlinePolicy selects what a request that hits its deadline
+// returns (EngineConfig.OnDeadline).
+type DeadlinePolicy = engine.DeadlinePolicy
+
+const (
+	// AbortOnDeadline makes an expired request fail with
+	// context.DeadlineExceeded (the default).
+	AbortOnDeadline = engine.AbortOnDeadline
+	// PartialOnDeadline makes an expired request return its anytime
+	// answer — the top-n over everything accumulated so far, with
+	// Result.Partial set and cut-short term scans marked Truncated in
+	// the trace — and a nil error.
+	PartialOnDeadline = engine.PartialOnDeadline
+)
+
+// EngineConfig parameterizes a concurrent query engine. The evaluation
+// knobs live in the embedded EvalOptions.
 type EngineConfig struct {
+	// EvalOptions are the evaluation knobs shared with SessionConfig;
+	// with CAdd and CIns both zero the engine defaults to the
+	// collection-tuned constants.
+	EvalOptions
 	// Workers is the number of serving goroutines (default 4).
 	Workers int
 	// Shards splits the buffer pool's latch (and capacity) by page-id
@@ -24,18 +45,17 @@ type EngineConfig struct {
 	// choice for a shared pool: §3.3's global query registry keeps one
 	// user's pages safe from another's refinement).
 	Policy Policy
-	// Algorithm is DF or BAF (default DF), shared by all sessions.
-	Algorithm Algorithm
-	// CAdd and CIns are the filtering constants; both zero selects the
-	// collection-tuned defaults unless Unfiltered is set.
-	CAdd, CIns float64
-	// Unfiltered disables the unsafe optimization (exhaustive runs).
-	Unfiltered bool
-	// TopN is the result size n (default 20).
-	TopN int
-	// ForceFirstPage guarantees at least one page of every query term
-	// is processed.
-	ForceFirstPage bool
+	// MaxQueue, when > 0, turns admission fail-fast: at most MaxQueue
+	// requests wait in the queue and Submit returns ErrQueueFull
+	// instead of blocking when it is full.
+	MaxQueue int
+	// QueryTimeout, when > 0, is the default per-request deadline,
+	// measured from Submit (queue wait counts against it). A tighter
+	// deadline on the context passed to SubmitContext still wins.
+	QueryTimeout time.Duration
+	// OnDeadline selects the deadline outcome: AbortOnDeadline
+	// (default) or PartialOnDeadline.
+	OnDeadline DeadlinePolicy
 }
 
 // EngineStats is a snapshot of the engine's atomic serving counters.
@@ -48,6 +68,11 @@ type EngineStats = metrics.ServingSnapshot
 // concurrent use from any number of goroutines; with Workers == 1 it
 // executes the global stream in exact submission order, reproducing
 // serial results bit-for-bit.
+//
+// Every request runs under a context: cancel it (or let its deadline
+// or the engine's QueryTimeout fire) and the request stops within one
+// page read with every buffer frame unpinned. See SubmitContext,
+// SearchContext, and Shutdown.
 type Engine struct {
 	inner *engine.Engine
 	pool  *buffer.SharedPool
@@ -60,6 +85,11 @@ type Ticket struct {
 
 // Wait blocks until the request completes and returns its result.
 func (t *Ticket) Wait() (*Result, error) { return t.job.Wait() }
+
+// Cancel withdraws the request: still-queued requests complete
+// immediately with context.Canceled, an executing one stops within one
+// page read. Safe to call at any time.
+func (t *Ticket) Cancel() { t.job.Cancel() }
 
 // Service returns the request's service time (valid after Wait).
 func (t *Ticket) Service() time.Duration { return t.job.Service() }
@@ -74,9 +104,6 @@ func (ix *Index) NewEngine(cfg EngineConfig) (*Engine, error) {
 	}
 	if cfg.BufferPages == 0 {
 		cfg.BufferPages = 128
-	}
-	if cfg.TopN == 0 {
-		cfg.TopN = 20
 	}
 	if cfg.Policy == "" {
 		cfg.Policy = RAP
@@ -94,20 +121,17 @@ func (ix *Index) NewEngine(cfg EngineConfig) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	params := eval.Params{
-		CAdd:           cfg.CAdd,
-		CIns:           cfg.CIns,
-		TopN:           cfg.TopN,
-		ForceFirstPage: cfg.ForceFirstPage,
-	}
-	if !cfg.Unfiltered && params.CAdd == 0 && params.CIns == 0 {
-		tp := eval.TunedParams()
-		params.CAdd, params.CIns = tp.CAdd, tp.CIns
+	params, err := cfg.params(eval.TunedParams())
+	if err != nil {
+		return nil, err
 	}
 	inner, err := engine.New(ix.ix, ix.conv, pool, engine.Config{
-		Workers: cfg.Workers,
-		Algo:    cfg.Algorithm,
-		Params:  params,
+		Workers:      cfg.Workers,
+		Algo:         cfg.Algorithm,
+		Params:       params,
+		MaxQueue:     cfg.MaxQueue,
+		QueryTimeout: cfg.QueryTimeout,
+		OnDeadline:   cfg.OnDeadline,
 	})
 	if err != nil {
 		return nil, err
@@ -126,7 +150,7 @@ func policyFactory(p Policy) (func() buffer.Policy, error) {
 	case RAP:
 		return func() buffer.Policy { return buffer.NewRAP() }, nil
 	default:
-		return nil, fmt.Errorf("bufir: unknown policy %q", p)
+		return nil, fmt.Errorf("%w %q", ErrUnknownPolicy, p)
 	}
 }
 
@@ -137,9 +161,23 @@ func (e *Engine) Search(user int, q Query) (*Result, error) {
 	return e.inner.Search(user, q)
 }
 
+// SearchContext is Search bound to a context: canceling it stops the
+// request within one page read. With EngineConfig.QueryTimeout set,
+// the request additionally carries that deadline from submission.
+func (e *Engine) SearchContext(ctx context.Context, user int, q Query) (*Result, error) {
+	return e.inner.SearchContext(ctx, user, q)
+}
+
 // Submit enqueues a request and returns immediately with a Ticket.
 func (e *Engine) Submit(user int, q Query) (*Ticket, error) {
-	j, err := e.inner.Submit(user, q)
+	return e.SubmitContext(context.Background(), user, q)
+}
+
+// SubmitContext enqueues a request bound to ctx and returns
+// immediately with a Ticket. With EngineConfig.MaxQueue set a full
+// queue sheds the request: (nil, ErrQueueFull).
+func (e *Engine) SubmitContext(ctx context.Context, user int, q Query) (*Ticket, error) {
+	j, err := e.inner.SubmitContext(ctx, user, q)
 	if err != nil {
 		return nil, err
 	}
@@ -153,5 +191,13 @@ func (e *Engine) Stats() EngineStats { return e.inner.Counters() }
 func (e *Engine) BufferStats() BufferStats { return e.inner.BufferStats() }
 
 // Close drains pending requests, stops the workers, and withdraws all
-// sessions from the shared query registry. Idempotent.
+// sessions from the shared query registry, waiting as long as the
+// drain takes. Idempotent.
 func (e *Engine) Close() { e.inner.Close() }
+
+// Shutdown is Close with a deadline: admission stops immediately, and
+// if ctx expires before the queue drains, every remaining request is
+// canceled — each stops within one page read — before Shutdown
+// returns ctx.Err(). A nil return means every accepted request ran to
+// completion. Safe to call concurrently with Close and itself.
+func (e *Engine) Shutdown(ctx context.Context) error { return e.inner.Shutdown(ctx) }

@@ -1,0 +1,41 @@
+package bufir
+
+import (
+	"errors"
+
+	"bufir/internal/engine"
+	"bufir/internal/eval"
+)
+
+// Sentinel errors of the public API, testable with errors.Is. Error
+// messages elsewhere in the package wrap these (sometimes with a
+// site-specific hint), so matching on errors.Is is always safe where
+// matching on message text never was.
+var (
+	// ErrEngineClosed is returned by Engine.Submit/Search once Close
+	// or Shutdown has begun.
+	ErrEngineClosed = engine.ErrEngineClosed
+	// ErrQueueFull is returned by Engine.Submit/Search when
+	// EngineConfig.MaxQueue is set and the admission queue is at
+	// capacity: the request was shed, not queued.
+	ErrQueueFull = engine.ErrQueueFull
+	// ErrEmptyQuery is returned when a query has no terms (or only
+	// non-positive query frequencies).
+	ErrEmptyQuery = eval.ErrEmptyQuery
+	// ErrNoPositional is returned by phrase and proximity operations
+	// on an index built without IndexOptions.Positional.
+	ErrNoPositional = errors.New("bufir: index was built without positional data")
+	// ErrUnknownPolicy is returned for a Policy name that is not LRU,
+	// MRU or RAP.
+	ErrUnknownPolicy = errors.New("bufir: unknown policy")
+)
+
+// hintedErr carries a site-specific message while unwrapping to a
+// sentinel, so errors.Is matches without the message text changing.
+type hintedErr struct {
+	msg  string
+	base error
+}
+
+func (e *hintedErr) Error() string { return e.msg }
+func (e *hintedErr) Unwrap() error { return e.base }

@@ -19,10 +19,9 @@ func Example() {
 		log.Fatal(err)
 	}
 	session, err := ix.NewSession(bufir.SessionConfig{
-		Algorithm:   bufir.BAF,
+		EvalOptions: bufir.EvalOptions{Algorithm: bufir.BAF, TopN: 5},
 		Policy:      bufir.RAP,
 		BufferPages: 128,
-		TopN:        5,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -54,7 +53,7 @@ func ExampleIndexDocuments() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := ix.NewSession(bufir.SessionConfig{Unfiltered: true})
+	s, err := ix.NewSession(bufir.SessionConfig{EvalOptions: bufir.EvalOptions{Unfiltered: true}})
 	if err != nil {
 		log.Fatal(err)
 	}

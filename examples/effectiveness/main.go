@@ -44,10 +44,9 @@ func main() {
 		var reads int
 		for ti, topic := range col.Topics {
 			session, err := ix.NewSession(bufir.SessionConfig{
-				Algorithm:   v.algo,
+				EvalOptions: bufir.EvalOptions{Algorithm: v.algo, Unfiltered: v.unfiltered},
 				Policy:      bufir.RAP,
 				BufferPages: 256,
-				Unfiltered:  v.unfiltered,
 			})
 			if err != nil {
 				log.Fatal(err)

@@ -60,7 +60,7 @@ func main() {
 	privateSessions := make([]*bufir.Session, len(userTopics))
 	for u := range privateSessions {
 		s, err := ix.NewSession(bufir.SessionConfig{
-			Algorithm:   bufir.BAF,
+			EvalOptions: bufir.EvalOptions{Algorithm: bufir.BAF},
 			Policy:      bufir.RAP,
 			BufferPages: totalPages / len(userTopics),
 		})
@@ -83,7 +83,7 @@ func main() {
 	}
 	sharedSessions := make([]*bufir.SharedSession, len(userTopics))
 	for u := range sharedSessions {
-		s, err := pool.NewSession(bufir.SessionConfig{Algorithm: bufir.BAF})
+		s, err := pool.NewSession(bufir.SessionConfig{EvalOptions: bufir.EvalOptions{Algorithm: bufir.BAF}})
 		if err != nil {
 			log.Fatal(err)
 		}

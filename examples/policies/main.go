@@ -53,7 +53,7 @@ func main() {
 		fmt.Printf("%8d", size)
 		for _, p := range policies {
 			session, err := ix.NewSession(bufir.SessionConfig{
-				Algorithm:   bufir.DF,
+				EvalOptions: bufir.EvalOptions{Algorithm: bufir.DF},
 				Policy:      p,
 				BufferPages: size,
 			})

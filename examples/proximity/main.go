@@ -36,7 +36,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	session, err := ix.NewSession(bufir.SessionConfig{Unfiltered: true, TopN: 3})
+	session, err := ix.NewSession(bufir.SessionConfig{EvalOptions: bufir.EvalOptions{Unfiltered: true, TopN: 3}})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s2, err := loaded.NewSession(bufir.SessionConfig{Unfiltered: true, TopN: 1})
+	s2, err := loaded.NewSession(bufir.SessionConfig{EvalOptions: bufir.EvalOptions{Unfiltered: true, TopN: 1}})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -50,11 +50,13 @@ func main() {
 	// A session pairs the index with a buffer pool and an evaluation
 	// algorithm. BAF + RAP is the paper's best combination.
 	session, err := ix.NewSession(bufir.SessionConfig{
-		Algorithm:   bufir.BAF,
+		EvalOptions: bufir.EvalOptions{
+			Algorithm:  bufir.BAF,
+			TopN:       3,
+			Unfiltered: true, // tiny corpus: no need for unsafe filtering
+		},
 		Policy:      bufir.RAP,
 		BufferPages: 32,
-		TopN:        3,
-		Unfiltered:  true, // tiny corpus: no need for unsafe filtering
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -51,7 +51,7 @@ func main() {
 	const bufferPages = 96
 	for _, algo := range []bufir.Algorithm{bufir.DF, bufir.BAF} {
 		session, err := ix.NewSession(bufir.SessionConfig{
-			Algorithm:   algo,
+			EvalOptions: bufir.EvalOptions{Algorithm: algo},
 			Policy:      bufir.LRU, // the file-system default the paper critiques
 			BufferPages: bufferPages,
 		})

@@ -1,6 +1,7 @@
 package buffer
 
 import (
+	"context"
 	"fmt"
 
 	"bufir/internal/postings"
@@ -61,6 +62,11 @@ func (d *DualPool) Get(id postings.PageID) (*Frame, error) {
 // Fetch implements Pool.
 func (d *DualPool) Fetch(id postings.PageID) (*Frame, bool, error) {
 	return d.partitionFor(d.ix.TermOfPage(id)).Fetch(id)
+}
+
+// FetchContext implements Pool.
+func (d *DualPool) FetchContext(ctx context.Context, id postings.PageID) (*Frame, bool, error) {
+	return d.partitionFor(d.ix.TermOfPage(id)).FetchContext(ctx, id)
 }
 
 // Unpin implements Pool.

@@ -7,6 +7,7 @@
 package buffer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -15,9 +16,13 @@ import (
 )
 
 // PageReader is the storage surface the buffer manager needs: a
-// counted page fetch. *storage.Store implements it.
+// counted page fetch, plus a context-bounded form that abandons the
+// read (simulated latency included) when the caller's request is
+// canceled or past its deadline. *storage.Store and
+// *storage.CompressedStore implement it.
 type PageReader interface {
 	Read(id postings.PageID) ([]postings.Entry, error)
+	ReadContext(ctx context.Context, id postings.PageID) ([]postings.Entry, error)
 }
 
 // Frame is a buffer slot holding one inverted-list page. Policy
@@ -145,6 +150,21 @@ func (m *Manager) Get(id postings.PageID) (*Frame, error) {
 // confined, so concurrent sessions on a shared pool cannot pollute
 // each other's statistics.
 func (m *Manager) Fetch(id postings.PageID) (*Frame, bool, error) {
+	return m.FetchContext(context.Background(), id)
+}
+
+// FetchContext is Fetch bounded by a context: a dead context fails
+// before taking the latch, and a miss's disk read is abandoned as soon
+// as ctx is canceled or expires (no frame stays pinned, no counters
+// move). Buffer hits are never refused — the page is already in
+// memory, so handing it out costs nothing. The single-latch Manager
+// performs its I/O inside the latch (by design: it is the serial,
+// bit-for-bit-reproducible pool), so one session's cancellation does
+// not unblock another's Fetch that is queued on the latch behind it.
+func (m *Manager) FetchContext(ctx context.Context, id postings.PageID) (*Frame, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -164,7 +184,7 @@ func (m *Manager) Fetch(id postings.PageID) (*Frame, bool, error) {
 		m.removeLocked(victim)
 		m.stats.Evictions++
 	}
-	data, err := m.store.Read(id)
+	data, err := m.store.ReadContext(ctx, id)
 	if err != nil {
 		return nil, false, fmt.Errorf("buffer: load page %d: %w", id, err)
 	}
@@ -217,6 +237,21 @@ func (m *Manager) InUse() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.frames)
+}
+
+// PinnedFrames returns the number of frames with at least one pin.
+// Leak checks assert this is zero at quiescence: every code path —
+// including canceled and expired requests — must balance its pins.
+func (m *Manager) PinnedFrames() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, f := range m.frames {
+		if f.pin > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // SetQuery announces the query about to be evaluated by supplying its

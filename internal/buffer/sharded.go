@@ -1,6 +1,7 @@
 package buffer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -142,6 +143,43 @@ func (m *ShardedManager) Get(id postings.PageID) (*Frame, error) {
 // of the same page is a hit: the page costs one read no matter how
 // many sessions arrive while it loads.
 func (m *ShardedManager) Fetch(id postings.PageID) (*Frame, bool, error) {
+	return m.FetchContext(context.Background(), id)
+}
+
+// FetchContext is Fetch bounded by a context. Cancellation interacts
+// with single-flight loading in three ways:
+//
+//   - A loader (the session that initiated the read) honors its own
+//     context: the storage read aborts mid-latency, the provisional
+//     miss is undone, and the frame is poisoned exactly as on an I/O
+//     error.
+//   - A waiter parked on another session's in-flight load stops
+//     waiting the moment its own context dies, releasing its pin; the
+//     load itself continues on the loader's behalf.
+//   - A waiter whose loader was canceled does not inherit the loader's
+//     context error: it retries the fetch under its own (still live)
+//     context, becoming the new loader if the page is still absent.
+//     One session's cancellation therefore never aborts another's
+//     query — the invariant the shared pool's fairness rests on.
+func (m *ShardedManager) FetchContext(ctx context.Context, id postings.PageID) (*Frame, bool, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		f, missed, err := m.fetchOnce(ctx, id)
+		if err != nil && errIsContextual(err) && ctx.Err() == nil {
+			// The loader we waited on was canceled; our own request is
+			// still live, so try again (and likely become the loader).
+			continue
+		}
+		return f, missed, err
+	}
+}
+
+// fetchOnce runs one fetch attempt. It may return another session's
+// context error when that session was the loader; FetchContext turns
+// that into a retry.
+func (m *ShardedManager) fetchOnce(ctx context.Context, id postings.PageID) (*Frame, bool, error) {
 	sh := m.shardOf(id)
 	sh.mu.Lock()
 	if f, ok := sh.frames[id]; ok {
@@ -150,10 +188,17 @@ func (m *ShardedManager) Fetch(id postings.PageID) (*Frame, bool, error) {
 		ch := f.loading
 		sh.mu.Unlock()
 		if ch != nil {
-			<-ch
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				// Our request died while the load is still in flight.
+				// Drop our pin; the loader keeps its own until done.
+				m.releaseWaiter(sh, f)
+				return nil, false, ctx.Err()
+			}
 			if f.loadErr != nil {
 				err := f.loadErr
-				m.unpinPoisoned(sh, f)
+				m.releaseWaiter(sh, f)
 				return nil, false, err
 			}
 		}
@@ -185,7 +230,7 @@ func (m *ShardedManager) Fetch(id postings.PageID) (*Frame, bool, error) {
 	m.misses.Add(1)
 	sh.mu.Unlock()
 
-	data, err := m.store.Read(id)
+	data, err := m.store.ReadContext(ctx, id)
 
 	sh.mu.Lock()
 	if err != nil {
@@ -196,7 +241,10 @@ func (m *ShardedManager) Fetch(id postings.PageID) (*Frame, bool, error) {
 		f.loadErr = fmt.Errorf("buffer: load page %d: %w", id, err)
 		close(f.loading)
 		loadErr := f.loadErr
-		m.unpinPoisonedLocked(sh, f)
+		f.pin--
+		if f.pin == 0 {
+			m.removeLocked(sh, f)
+		}
 		sh.mu.Unlock()
 		return nil, false, loadErr
 	}
@@ -207,17 +255,21 @@ func (m *ShardedManager) Fetch(id postings.PageID) (*Frame, bool, error) {
 	return f, true, nil
 }
 
-// unpinPoisoned releases one pin on a frame whose load failed and
-// removes the frame from the pool when the last pin drops.
-func (m *ShardedManager) unpinPoisoned(sh *shard, f *Frame) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	m.unpinPoisonedLocked(sh, f)
+// errIsContextual reports whether err stems from a context ending.
+func errIsContextual(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-func (m *ShardedManager) unpinPoisonedLocked(sh *shard, f *Frame) {
+// releaseWaiter drops a waiter's pin on a frame that is (or was)
+// loading, removing the frame if the waiter was the last holder of a
+// poisoned load. While a load is in flight the loader's own pin keeps
+// the frame alive, so the removal can only trigger after the load has
+// failed.
+func (m *ShardedManager) releaseWaiter(sh *shard, f *Frame) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	f.pin--
-	if f.pin == 0 {
+	if f.pin == 0 && f.loadErr != nil {
 		m.removeLocked(sh, f)
 	}
 }
@@ -258,6 +310,23 @@ func (m *ShardedManager) InUse() int {
 		sh := &m.shards[i]
 		sh.mu.Lock()
 		total += len(sh.frames)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// PinnedFrames returns the number of frames with at least one pin,
+// summed across shards. Leak checks assert this is zero at quiescence.
+func (m *ShardedManager) PinnedFrames() int {
+	total := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.pin > 0 {
+				total++
+			}
+		}
 		sh.mu.Unlock()
 	}
 	return total

@@ -1,6 +1,7 @@
 package buffer
 
 import (
+	"context"
 	"sync"
 
 	"bufir/internal/postings"
@@ -17,6 +18,11 @@ type Pool interface {
 	// deltas — so per-session read counts stay exact when many
 	// sessions run on one pool.
 	Fetch(id postings.PageID) (*Frame, bool, error)
+	// FetchContext is Fetch bounded by a context: a canceled or
+	// expired request abandons its disk read (within the simulated
+	// latency, not after it) and returns ctx's error with no frame
+	// pinned. Fetch is FetchContext with a background context.
+	FetchContext(ctx context.Context, id postings.PageID) (*Frame, bool, error)
 	// Unpin releases one pin.
 	Unpin(f *Frame)
 	// ResidentPages reports b_t for a term.
@@ -36,6 +42,9 @@ type PoolManager interface {
 	Get(id postings.PageID) (*Frame, error)
 	Contains(id postings.PageID) bool
 	InUse() int
+	// PinnedFrames counts frames holding at least one pin; zero at
+	// quiescence or something leaked a pin.
+	PinnedFrames() int
 	Capacity() int
 	Policy() string
 	Flush()
@@ -107,6 +116,16 @@ func (sp *SharedPool) UserView(id int) *UserView {
 // Manager exposes the underlying manager for stats and maintenance.
 func (sp *SharedPool) Manager() PoolManager { return sp.mgr }
 
+// ActiveUsers returns the number of users with a query currently in
+// the shared registry. Engine shutdown withdraws every session, so
+// after a clean Close this is zero — the no-leak property the
+// lifecycle tests assert.
+func (sp *SharedPool) ActiveUsers() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return len(sp.weights)
+}
+
 // setUserQuery records one user's weights and pushes the combined
 // function to the replacement policy. Snapshots are sequence-numbered
 // under the registry lock; a snapshot that lost a race to a newer one
@@ -155,6 +174,11 @@ func (uv *UserView) Get(id postings.PageID) (*Frame, error) { return uv.pool.mgr
 
 // Fetch implements Pool.
 func (uv *UserView) Fetch(id postings.PageID) (*Frame, bool, error) { return uv.pool.mgr.Fetch(id) }
+
+// FetchContext implements Pool.
+func (uv *UserView) FetchContext(ctx context.Context, id postings.PageID) (*Frame, bool, error) {
+	return uv.pool.mgr.FetchContext(ctx, id)
+}
 
 // Unpin implements Pool.
 func (uv *UserView) Unpin(f *Frame) { uv.pool.mgr.Unpin(f) }

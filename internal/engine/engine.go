@@ -19,9 +19,19 @@
 // worker count. With one worker, execution order is exactly global
 // submission order, which is how the single-worker configuration
 // reproduces the serial experiments bit-for-bit.
+//
+// Request lifecycle: every job carries a context derived from the
+// submitter's (plus the engine's QueryTimeout, when set). The
+// evaluator checks it at every term round and page boundary and the
+// buffer manager honors it mid-disk-read, so a canceled or expired
+// request stops within one page read, with every frame unpinned and
+// its registry entry withdrawn by engine shutdown. Admission control
+// is fail-fast: with MaxQueue set, a submit that finds the queue full
+// returns ErrQueueFull instead of blocking.
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -31,6 +41,34 @@ import (
 	"bufir/internal/eval"
 	"bufir/internal/metrics"
 	"bufir/internal/postings"
+)
+
+// Sentinel errors, testable with errors.Is.
+var (
+	// ErrEngineClosed is returned by Submit/Search after Close or
+	// Shutdown has begun.
+	ErrEngineClosed = errors.New("engine: closed")
+	// ErrQueueFull is returned by Submit when MaxQueue is set and the
+	// admission queue is at capacity (the request was shed, not
+	// queued).
+	ErrQueueFull = errors.New("engine: queue full")
+)
+
+// DeadlinePolicy selects what a request that hits its deadline
+// returns.
+type DeadlinePolicy int
+
+const (
+	// AbortOnDeadline returns (nil, context.DeadlineExceeded): the
+	// request is charged for the pages it read but yields no answer.
+	AbortOnDeadline DeadlinePolicy = iota
+	// PartialOnDeadline returns the evaluator's anytime answer — the
+	// top-n over everything accumulated when the deadline fired, with
+	// Result.Partial set and cut-short term scans marked Truncated —
+	// and a nil error. DF and BAF are round-structured filters (§2.2),
+	// so stopping after any round yields a valid, if less refined,
+	// ranking.
+	PartialOnDeadline
 )
 
 // Config parameterizes an Engine.
@@ -43,13 +81,30 @@ type Config struct {
 	Params eval.Params
 	// QueueDepth bounds the number of submitted-but-unfinished
 	// requests before Submit blocks (0 = 4×Workers, minimum 64).
+	// Ignored when MaxQueue is set.
 	QueueDepth int
+	// MaxQueue, when > 0, switches admission to fail-fast: the queue
+	// holds at most MaxQueue requests and Submit returns ErrQueueFull
+	// instead of blocking when it is at capacity.
+	MaxQueue int
+	// QueryTimeout, when > 0, is the default per-request deadline,
+	// measured from Submit (queue wait counts against it, as it does
+	// for the paper's interactive users). A tighter caller deadline
+	// still wins; SubmitContext composes both.
+	QueryTimeout time.Duration
+	// OnDeadline selects the deadline outcome: abort with
+	// context.DeadlineExceeded (default) or return the anytime
+	// partial answer.
+	OnDeadline DeadlinePolicy
 }
 
 // Job is one submitted request. Wait blocks until it completes.
 type Job struct {
 	User  int
 	Query eval.Query
+
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	us   *userState
 	prev <-chan struct{} // previous job of the same user (nil if none)
@@ -66,6 +121,12 @@ func (j *Job) Wait() (*eval.Result, error) {
 	return j.res, j.err
 }
 
+// Cancel withdraws the request: if it is still queued it completes
+// immediately with context.Canceled; if it is mid-evaluation it stops
+// within one page read. Safe to call at any time, including after the
+// job finished.
+func (j *Job) Cancel() { j.cancel() }
+
 // Service returns the job's service time (dequeue to completion),
 // valid after Wait returns.
 func (j *Job) Service() time.Duration { return j.service }
@@ -80,8 +141,9 @@ type userState struct {
 }
 
 // Engine is the concurrent query engine. Create with New, submit with
-// Submit or Search (from any number of goroutines), and Close when
-// done so sessions withdraw from the shared pool's query registry.
+// Submit or Search (from any number of goroutines), and Close (or
+// Shutdown with a deadline) when done so sessions withdraw from the
+// shared pool's query registry.
 type Engine struct {
 	pool *buffer.SharedPool
 	ix   *postings.Index
@@ -90,6 +152,14 @@ type Engine struct {
 
 	queue chan *Job
 	wg    sync.WaitGroup
+
+	// stopCtx is canceled when a Shutdown deadline expires; every
+	// in-flight job's context is linked to it, so expiry aborts the
+	// whole fleet within one page read each.
+	stopCtx    context.Context
+	stopCancel context.CancelFunc
+	drainOnce  sync.Once
+	drained    chan struct{}
 
 	mu     sync.Mutex
 	users  map[int]*userState
@@ -107,23 +177,33 @@ func New(ix *postings.Index, conv *postings.ConversionTable, pool *buffer.Shared
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("engine: workers %d < 1", cfg.Workers)
 	}
+	if cfg.OnDeadline != AbortOnDeadline && cfg.OnDeadline != PartialOnDeadline {
+		return nil, fmt.Errorf("engine: unknown deadline policy %d", int(cfg.OnDeadline))
+	}
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
 	}
-	depth := cfg.QueueDepth
+	depth := cfg.MaxQueue
 	if depth <= 0 {
-		depth = 4 * cfg.Workers
-		if depth < 64 {
-			depth = 64
+		depth = cfg.QueueDepth
+		if depth <= 0 {
+			depth = 4 * cfg.Workers
+			if depth < 64 {
+				depth = 64
+			}
 		}
 	}
+	stopCtx, stopCancel := context.WithCancel(context.Background())
 	e := &Engine{
-		pool:  pool,
-		ix:    ix,
-		conv:  conv,
-		cfg:   cfg,
-		queue: make(chan *Job, depth),
-		users: make(map[int]*userState),
+		pool:       pool,
+		ix:         ix,
+		conv:       conv,
+		cfg:        cfg,
+		queue:      make(chan *Job, depth),
+		stopCtx:    stopCtx,
+		stopCancel: stopCancel,
+		drained:    make(chan struct{}),
+		users:      make(map[int]*userState),
 	}
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -132,33 +212,79 @@ func New(ix *postings.Index, conv *postings.ConversionTable, pool *buffer.Shared
 	return e, nil
 }
 
-// Submit enqueues a request and returns its Job handle. It blocks only
-// when the queue is full. Safe for concurrent use.
+// Submit is SubmitContext with a background context.
+func (e *Engine) Submit(user int, q eval.Query) (*Job, error) {
+	return e.SubmitContext(context.Background(), user, q)
+}
+
+// SubmitContext enqueues a request bound to ctx and returns its Job
+// handle. Canceling ctx (or its deadline, or the engine's
+// QueryTimeout — whichever fires first) stops the request within one
+// page read; a request canceled while still queued completes with
+// context.Canceled without evaluating. With MaxQueue set, a full
+// queue sheds the request: (nil, ErrQueueFull). Otherwise SubmitContext
+// blocks only when the queue is full. Safe for concurrent use.
 //
 // Chaining and enqueueing happen atomically under e.mu, so a user's
 // queue order always equals their chain order — a parked worker's
 // predecessor is therefore always ahead of it in the FIFO queue,
 // already held by some worker (or done). Workers never take e.mu, so
 // blocking on a full queue while holding it cannot stall the drain.
-func (e *Engine) Submit(user int, q eval.Query) (*Job, error) {
+// A shed request never joins the chain: us.tail advances only after
+// the enqueue succeeds.
+func (e *Engine) SubmitContext(ctx context.Context, user int, q eval.Query) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		return nil, errors.New("engine: closed")
+		return nil, ErrEngineClosed
 	}
 	us, err := e.userLocked(user)
 	if err != nil {
 		return nil, err
 	}
-	j := &Job{User: user, Query: q, us: us, prev: us.tail, done: make(chan struct{})}
+	var jctx context.Context
+	var cancel context.CancelFunc
+	if e.cfg.QueryTimeout > 0 {
+		jctx, cancel = context.WithTimeout(ctx, e.cfg.QueryTimeout)
+	} else {
+		jctx, cancel = context.WithCancel(ctx)
+	}
+	// A shutdown deadline aborts every in-flight request.
+	stop := context.AfterFunc(e.stopCtx, cancel)
+	j := &Job{
+		User: user, Query: q,
+		ctx:    jctx,
+		cancel: func() { stop(); cancel() },
+		us:     us,
+		prev:   us.tail,
+		done:   make(chan struct{}),
+	}
+	if e.cfg.MaxQueue > 0 {
+		select {
+		case e.queue <- j:
+		default:
+			j.cancel()
+			e.counters.Shed.Add(1)
+			return nil, ErrQueueFull
+		}
+	} else {
+		e.queue <- j
+	}
 	us.tail = j.done
-	e.queue <- j
 	return j, nil
 }
 
 // Search is Submit followed by Wait.
 func (e *Engine) Search(user int, q eval.Query) (*eval.Result, error) {
-	j, err := e.Submit(user, q)
+	return e.SearchContext(context.Background(), user, q)
+}
+
+// SearchContext is SubmitContext followed by Wait.
+func (e *Engine) SearchContext(ctx context.Context, user int, q eval.Query) (*eval.Result, error) {
+	j, err := e.SubmitContext(ctx, user, q)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +311,9 @@ func (e *Engine) userLocked(user int) (*userState, error) {
 // running parks until it finishes: predecessors are always earlier in
 // the FIFO queue, so they are already assigned to some worker (or
 // done) and progress is guaranteed — no deadlock, and per-user order
-// holds for free.
+// holds for free. A canceled job still parks on its predecessor
+// before completing, so a user's jobs never overlap even when some
+// are withdrawn mid-stream.
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for j := range e.queue {
@@ -193,19 +321,44 @@ func (e *Engine) worker() {
 			<-j.prev
 		}
 		start := time.Now()
-		res, err := j.us.ev.Evaluate(e.cfg.Algo, j.Query)
+		var res *eval.Result
+		err := j.ctx.Err()
+		if err == nil {
+			res, err = j.us.ev.EvaluateContext(j.ctx, e.cfg.Algo, j.Query)
+		}
 		j.service = time.Since(start)
-		j.res, j.err = res, err
 
 		e.counters.Queries.Add(1)
 		e.counters.ServiceNanos.Add(int64(j.service))
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.DeadlineExceeded):
+			e.counters.Timeouts.Add(1)
+			if e.cfg.OnDeadline == PartialOnDeadline && res != nil {
+				// Anytime semantics: surface the partial answer
+				// (Result.Partial is set) instead of the error.
+				e.counters.Partials.Add(1)
+				err = nil
+			} else {
+				res = nil
+			}
+		case errors.Is(err, context.Canceled):
+			// The caller withdrew; nobody wants even a partial answer.
+			e.counters.Canceled.Add(1)
+			res = nil
+		default:
 			e.counters.Errors.Add(1)
-		} else {
+			res = nil
+		}
+		if res != nil {
+			// Partial answers are charged for the pages they read:
+			// read totals stay the cost metric under deadlines.
 			e.counters.PagesRead.Add(int64(res.PagesRead))
 			e.counters.PagesProcessed.Add(int64(res.PagesProcessed))
 			e.counters.EntriesProcessed.Add(int64(res.EntriesProcessed))
 		}
+		j.res, j.err = res, err
+		j.cancel() // release the timeout timer and stop-link
 		close(j.done)
 	}
 }
@@ -222,23 +375,52 @@ func (e *Engine) BufferStats() buffer.Stats { return e.pool.Manager().Stats() }
 func (e *Engine) Pool() *buffer.SharedPool { return e.pool }
 
 // Close drains the queue, stops the workers, and withdraws every
-// session from the shared registry. Submitting after Close fails;
-// Close is idempotent.
-func (e *Engine) Close() {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return
+// session from the shared registry, waiting as long as that takes.
+// Submitting after Close fails with ErrEngineClosed; Close is
+// idempotent.
+func (e *Engine) Close() { _ = e.Shutdown(context.Background()) }
+
+// Shutdown is graceful drain with a deadline: it stops admission
+// (concurrent Submits fail with ErrEngineClosed), waits for queued
+// and in-flight requests to finish, then withdraws every session from
+// the shared registry. If ctx expires first, Shutdown cancels every
+// remaining request — each stops within one page read and completes
+// with context.Canceled (or a partial answer, per OnDeadline when its
+// own deadline raced) — still waits for the workers to exit and the
+// registry to empty, and returns ctx.Err(). A nil return means every
+// accepted request ran to completion. Safe to call concurrently and
+// repeatedly; all callers observe the same drain.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	e.closed = true
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		// Submitters hold e.mu across their send, so nobody can be
+		// sending on e.queue here.
+		close(e.queue)
+	}
 	e.mu.Unlock()
 
-	close(e.queue)
-	e.wg.Wait()
+	e.drainOnce.Do(func() {
+		go func() {
+			e.wg.Wait()
+			e.mu.Lock()
+			for _, us := range e.users {
+				us.view.Close()
+			}
+			e.mu.Unlock()
+			close(e.drained)
+		}()
+	})
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, us := range e.users {
-		us.view.Close()
+	select {
+	case <-e.drained:
+		return nil
+	case <-ctx.Done():
+		e.stopCancel()
+		<-e.drained
+		return ctx.Err()
 	}
 }

@@ -1,0 +1,371 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bufir/internal/buffer"
+	"bufir/internal/engine"
+	"bufir/internal/eval"
+)
+
+// newTestEngine builds a sharded shared pool plus an engine over the
+// shared test Env, returning both so tests can inspect the pool after
+// Close.
+func newTestEngine(t *testing.T, pages, workers, shards int, cfg engine.Config) (*engine.Engine, *buffer.SharedPool) {
+	t.Helper()
+	e := testEnv(t)
+	var pool *buffer.SharedPool
+	var err error
+	if shards == 1 {
+		pool, err = buffer.NewSharedPool(pages, e.Store, e.Idx, buffer.NewRAP())
+	} else {
+		pool, err = buffer.NewShardedSharedPool(pages, shards, e.Store, e.Idx,
+			func() buffer.Policy { return buffer.NewRAP() })
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = workers
+	cfg.Algo = eval.BAF
+	cfg.Params = e.Params()
+	eng, err := engine.New(e.Idx, e.Conv, pool, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, pool
+}
+
+// assertNoEngineLeaks fails the test if, after Close, any worker
+// goroutine is still alive, a frame is still pinned, or a session is
+// still registered. Goroutine exit is asynchronous with Close's
+// wg.Wait return only in the test's view of runtime.Stack, so the
+// scan retries briefly.
+func assertNoEngineLeaks(t *testing.T, pool *buffer.SharedPool) {
+	t.Helper()
+	if n := pool.Manager().PinnedFrames(); n != 0 {
+		t.Errorf("%d frames still pinned after Close", n)
+	}
+	if n := pool.ActiveUsers(); n != 0 {
+		t.Errorf("%d sessions still in the shared registry after Close", n)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		buf := make([]byte, 1<<20)
+		stacks := string(buf[:runtime.Stack(buf, true)])
+		if !strings.Contains(stacks, "engine.(*Engine).worker") {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Error("worker goroutines still running after Close")
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCancelMidEvaluationNoLeaks is the -race stress test of the
+// cancellation path: many users run refinement queries under simulated
+// disk latency while their contexts are canceled at staggered points
+// mid-evaluation. Every job must settle (full answer, partial+ctx
+// error, or plain ctx error), and after Close the pool must hold zero
+// pinned frames and zero registry entries.
+func TestCancelMidEvaluationNoLeaks(t *testing.T) {
+	e := testEnv(t)
+	eng, pool := newTestEngine(t, 48, 4, 4, engine.Config{})
+	e.Store.SetReadLatency(100 * time.Microsecond)
+	defer e.Store.SetReadLatency(0)
+
+	const users, rounds = 6, 4
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				j, err := eng.SubmitContext(ctx, u, e.Queries[(u+r)%len(e.Queries)])
+				if err != nil {
+					t.Error(err)
+					cancel()
+					return
+				}
+				// Stagger the cancel across the evaluation: some jobs
+				// die while queued, some mid-scan, some finish first.
+				go func(d time.Duration) {
+					time.Sleep(d)
+					cancel()
+				}(time.Duration(u*rounds+r) * 150 * time.Microsecond)
+				res, err := j.Wait()
+				switch {
+				case err == nil:
+					// ran to completion before the cancel
+				case errors.Is(err, context.Canceled):
+					if res != nil && !res.Partial {
+						t.Errorf("canceled job returned a non-partial result")
+					}
+				default:
+					t.Errorf("unexpected job error: %v", err)
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	eng.Close()
+	assertNoEngineLeaks(t, pool)
+	st := eng.Counters()
+	if st.Canceled == 0 {
+		t.Error("stress run canceled no jobs; staggering is miscalibrated")
+	}
+	if st.Queries != users*rounds {
+		t.Errorf("Queries = %d, want %d", st.Queries, users*rounds)
+	}
+}
+
+// TestQueueFullShed: with MaxQueue set and the lone worker stalled on
+// simulated disk latency, a burst of submits must shed with
+// ErrQueueFull, the Shed counter must agree, and shed requests must
+// not corrupt the user's FIFO chain (later submits still execute in
+// order).
+func TestQueueFullShed(t *testing.T) {
+	e := testEnv(t)
+	eng, pool := newTestEngine(t, 32, 1, 1, engine.Config{MaxQueue: 2})
+	e.Store.SetReadLatency(200 * time.Microsecond)
+	defer e.Store.SetReadLatency(0)
+
+	var jobs []*engine.Job
+	shed := 0
+	for i := 0; i < 20; i++ {
+		j, err := eng.Submit(i%3, e.Queries[i%len(e.Queries)])
+		if err != nil {
+			if !errors.Is(err, engine.ErrQueueFull) {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			shed++
+			continue
+		}
+		jobs = append(jobs, j)
+	}
+	if shed == 0 {
+		t.Fatal("no submit was shed; MaxQueue is not limiting admission")
+	}
+	for _, j := range jobs {
+		if _, err := j.Wait(); err != nil {
+			t.Errorf("accepted job failed: %v", err)
+		}
+	}
+	eng.Close()
+	assertNoEngineLeaks(t, pool)
+	st := eng.Counters()
+	if st.Shed != int64(shed) {
+		t.Errorf("Shed counter = %d, want %d", st.Shed, shed)
+	}
+	if st.Queries != int64(len(jobs)) {
+		t.Errorf("Queries = %d, want %d accepted jobs", st.Queries, len(jobs))
+	}
+}
+
+// TestDeadlinePartial: an expiring QueryTimeout under PartialOnDeadline
+// returns the anytime answer — non-nil result, Partial set, nil error,
+// at least one term trace cut short — and the Timeouts/Partials
+// counters agree.
+func TestDeadlinePartial(t *testing.T) {
+	e := testEnv(t)
+	eng, pool := newTestEngine(t, 64, 1, 1, engine.Config{
+		QueryTimeout: 300 * time.Microsecond,
+		OnDeadline:   engine.PartialOnDeadline,
+	})
+	e.Store.SetReadLatency(150 * time.Microsecond)
+	defer e.Store.SetReadLatency(0)
+
+	sawPartial := false
+	for i := 0; i < 8 && !sawPartial; i++ {
+		res, err := eng.Search(0, e.Queries[i%len(e.Queries)])
+		if err != nil {
+			// Deadline before any round completed: still a legal
+			// outcome of the partial policy when nothing accumulated.
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("search %d: %v", i, err)
+			}
+			continue
+		}
+		if res.Partial {
+			// A deadline can fire mid-scan (a Truncated trace entry)
+			// or exactly at a round boundary (no list cut short);
+			// both are legal anytime stops — the eval package's
+			// TestCancelMidScanReturnsPartial pins the mid-scan shape
+			// deterministically.
+			sawPartial = true
+		}
+	}
+	eng.Close()
+	assertNoEngineLeaks(t, pool)
+	st := eng.Counters()
+	if !sawPartial {
+		t.Fatalf("no partial answer in 8 tries (timeouts=%d); latency/deadline miscalibrated", st.Timeouts)
+	}
+	if st.Partials == 0 || st.Timeouts < st.Partials {
+		t.Errorf("counters: Timeouts=%d Partials=%d, want Partials>0 and Timeouts>=Partials", st.Timeouts, st.Partials)
+	}
+}
+
+// TestDeadlineAbort: the default policy surfaces
+// context.DeadlineExceeded with no result.
+func TestDeadlineAbort(t *testing.T) {
+	e := testEnv(t)
+	eng, pool := newTestEngine(t, 64, 1, 1, engine.Config{
+		QueryTimeout: 200 * time.Microsecond,
+	})
+	e.Store.SetReadLatency(200 * time.Microsecond)
+	defer e.Store.SetReadLatency(0)
+
+	res, err := eng.Search(0, e.Queries[0])
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if res != nil {
+		t.Error("abort policy returned a result")
+	}
+	eng.Close()
+	assertNoEngineLeaks(t, pool)
+	if st := eng.Counters(); st.Timeouts != 1 || st.Partials != 0 {
+		t.Errorf("counters: Timeouts=%d Partials=%d, want 1/0", st.Timeouts, st.Partials)
+	}
+}
+
+// TestCanceledWhileQueued: a request whose context dies before a
+// worker picks it up completes with context.Canceled without
+// evaluating (no pages read for it).
+func TestCanceledWhileQueued(t *testing.T) {
+	e := testEnv(t)
+	eng, pool := newTestEngine(t, 64, 1, 1, engine.Config{})
+	e.Store.SetReadLatency(200 * time.Microsecond)
+	defer e.Store.SetReadLatency(0)
+
+	// Occupy the lone worker, then queue a request and cancel it.
+	first, err := eng.Submit(0, e.Queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	second, err := eng.SubmitContext(ctx, 1, e.Queries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := first.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := second.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued-then-canceled job: err = %v, want Canceled", err)
+	}
+	eng.Close()
+	assertNoEngineLeaks(t, pool)
+	if st := eng.Counters(); st.Canceled != 1 {
+		t.Errorf("Canceled = %d, want 1", st.Canceled)
+	}
+}
+
+// TestSubmitAfterCloseSentinel: Submit after Close fails with the
+// ErrEngineClosed sentinel.
+func TestSubmitAfterCloseSentinel(t *testing.T) {
+	e := testEnv(t)
+	eng, pool := newTestEngine(t, 16, 1, 1, engine.Config{})
+	eng.Close()
+	if _, err := eng.Submit(0, e.Queries[0]); !errors.Is(err, engine.ErrEngineClosed) {
+		t.Errorf("err = %v, want ErrEngineClosed", err)
+	}
+	assertNoEngineLeaks(t, pool)
+}
+
+// TestShutdownDeadline: a Shutdown whose context expires cancels the
+// in-flight fleet — every job settles promptly with context.Canceled
+// (or a ctx-carrying partial) — returns the context's error, and still
+// leaves the pool with no pinned frames or registry entries.
+func TestShutdownDeadline(t *testing.T) {
+	e := testEnv(t)
+	eng, pool := newTestEngine(t, 32, 2, 2, engine.Config{})
+	e.Store.SetReadLatency(500 * time.Microsecond)
+	defer e.Store.SetReadLatency(0)
+
+	var jobs []*engine.Job
+	for i := 0; i < 12; i++ {
+		j, err := eng.Submit(i%4, e.Queries[i%len(e.Queries)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := eng.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+	}
+	canceled := 0
+	for _, j := range jobs {
+		if _, err := j.Wait(); errors.Is(err, context.Canceled) {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Error("expired Shutdown canceled no in-flight jobs")
+	}
+	// A second Shutdown (and Close) observes the finished drain.
+	if err := eng.Shutdown(context.Background()); err != nil {
+		t.Errorf("second Shutdown = %v, want nil", err)
+	}
+	eng.Close()
+	assertNoEngineLeaks(t, pool)
+}
+
+// TestNoTimeoutStillBitForBit: the context plumbing must be free when
+// unused — a 1-worker engine with no deadlines reproduces the serial
+// read counts exactly (the acceptance bar for the lifecycle change).
+// TestSingleWorkerMatchesSerial covers the full workload; this guards
+// the same property through SubmitContext with a live context.
+func TestNoTimeoutStillBitForBit(t *testing.T) {
+	e := testEnv(t)
+	seqs := e12Seqs(t, e)
+	want, wantMisses := serialRun(t, e, seqs, 60, eval.BAF)
+	eng, pool := newTestEngine(t, 60, 1, 1, engine.Config{})
+	ctx := context.Background()
+	var jobs []*engine.Job
+	maxRef := 0
+	for _, s := range seqs {
+		if len(s.Refinements) > maxRef {
+			maxRef = len(s.Refinements)
+		}
+	}
+	for j := 0; j < maxRef; j++ {
+		for u, s := range seqs {
+			if j >= len(s.Refinements) {
+				continue
+			}
+			job, err := eng.SubmitContext(ctx, u, s.Refinements[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, job)
+		}
+	}
+	for i, job := range jobs {
+		res, err := job.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PagesRead != want[i].PagesRead || !sameTop(res.Top, want[i].Top) {
+			t.Errorf("job %d diverged from serial run", i)
+		}
+	}
+	misses := pool.Manager().Stats().Misses
+	eng.Close()
+	if misses != wantMisses {
+		t.Errorf("engine misses %d, serial %d", misses, wantMisses)
+	}
+	assertNoEngineLeaks(t, pool)
+}

@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"bufir/internal/buffer"
+	"bufir/internal/postings"
+)
+
+// cancelAfterPool cancels the request's context once n pages have been
+// fetched, simulating a caller withdrawing mid-scan at an exact,
+// deterministic page boundary.
+type cancelAfterPool struct {
+	buffer.Pool
+	cancel context.CancelFunc
+	n      int
+	count  int
+}
+
+func (p *cancelAfterPool) FetchContext(ctx context.Context, id postings.PageID) (*buffer.Frame, bool, error) {
+	p.count++
+	if p.count > p.n {
+		p.cancel()
+	}
+	return p.Pool.FetchContext(ctx, id)
+}
+
+// TestCancelMidScanReturnsPartial: a context canceled mid-term-scan
+// yields the anytime answer — Partial set, the interrupted term's
+// trace marked Truncated, earlier terms intact, the accumulated
+// ranking preserved — alongside context.Canceled, with every frame
+// unpinned. The evaluator stays usable afterwards.
+func TestCancelMidScanReturnsPartial(t *testing.T) {
+	f := smallFixture(t)
+	mgr, err := buffer.NewManager(64, f.store, f.ix, buffer.NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// DF order is gamma (1 page), beta (2), alpha (3); canceling after
+	// 4 fetches interrupts alpha after its first page.
+	pool := &cancelAfterPool{Pool: mgr, cancel: cancel, n: 4}
+	ev, err := NewEvaluator(f.ix, pool, f.conv, fullParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{{Term: 0, Fqt: 1}, {Term: 1, Fqt: 1}, {Term: 2, Fqt: 1}}
+	res, err := ev.EvaluateContext(ctx, DF, q)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatal("want the partial result alongside the context error")
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("partial result lost its trace")
+	}
+	last := res.Trace[len(res.Trace)-1]
+	if last.Name != "alpha" || !last.Truncated {
+		t.Errorf("last trace entry = %+v, want truncated alpha", last)
+	}
+	for _, tr := range res.Trace[:len(res.Trace)-1] {
+		if tr.Truncated {
+			t.Errorf("term %q marked truncated before the cancel", tr.Name)
+		}
+	}
+	if len(res.Top) == 0 {
+		t.Error("partial result dropped the accumulated ranking")
+	}
+	if res.PagesRead != 4 {
+		t.Errorf("PagesRead = %d, want the 4 delivered pages", res.PagesRead)
+	}
+	if n := mgr.PinnedFrames(); n != 0 {
+		t.Errorf("%d frames still pinned after the canceled evaluation", n)
+	}
+	// A fresh context evaluates normally on the same evaluator.
+	res2, err := ev.Evaluate(DF, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Partial {
+		t.Error("follow-up evaluation inherited the Partial flag")
+	}
+}
+
+// TestPreCanceledContextSkipsRegistry: a request that is dead on
+// arrival returns before announcing its query, so the shared registry
+// never sees it.
+func TestPreCanceledContextSkipsRegistry(t *testing.T) {
+	f := smallFixture(t)
+	sp, err := buffer.NewSharedPool(16, f.store, f.ix, buffer.NewRAP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := sp.UserView(0)
+	ev, err := NewEvaluator(f.ix, view, f.conv, fullParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ev.EvaluateContext(ctx, DF, Query{{Term: 0, Fqt: 1}})
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("pre-canceled: res=%v err=%v, want nil result and Canceled", res, err)
+	}
+	if n := sp.ActiveUsers(); n != 0 {
+		t.Errorf("dead request registered itself: %d active users", n)
+	}
+}
+
+// TestEmptyQuerySentinel: the empty-query failure is a sentinel
+// matchable with errors.Is.
+func TestEmptyQuerySentinel(t *testing.T) {
+	f := smallFixture(t)
+	ev := f.evaluator(t, 8, buffer.NewLRU(), fullParams())
+	if _, err := ev.Evaluate(DF, nil); !errors.Is(err, ErrEmptyQuery) {
+		t.Errorf("nil query: err = %v, want ErrEmptyQuery", err)
+	}
+	if _, err := ev.Evaluate(DF, Query{}); !errors.Is(err, ErrEmptyQuery) {
+		t.Errorf("empty query: err = %v, want ErrEmptyQuery", err)
+	}
+}

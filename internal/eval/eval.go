@@ -16,6 +16,8 @@
 package eval
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -24,6 +26,10 @@ import (
 	"bufir/internal/postings"
 	"bufir/internal/rank"
 )
+
+// ErrEmptyQuery is returned when a query has no terms. Callers test
+// with errors.Is; the message is part of the historical API surface.
+var ErrEmptyQuery = errors.New("eval: empty query")
 
 // Algorithm selects the query evaluation strategy.
 type Algorithm int
@@ -142,6 +148,11 @@ type TermTrace struct {
 	PagesRead        int // buffer misses while scanning this term
 	EntriesProcessed int
 	Skipped          bool // true if f_max <= f_add skipped the whole list
+	// Truncated is true when the request's context was canceled or
+	// expired mid-list: the scan stopped at a page boundary with only
+	// the pages counted above processed. A truncated term is the
+	// visible edge of an anytime partial result.
+	Truncated bool
 }
 
 // Result is the outcome of evaluating one query.
@@ -163,6 +174,14 @@ type Result struct {
 	SelectionInquiries int
 	// Smax is the final maximum unnormalized accumulator value.
 	Smax float64
+	// Partial is true when the evaluation was cut short by context
+	// cancellation or deadline expiry. Top still holds a valid ranking
+	// of everything accumulated so far — DF and BAF are anytime
+	// algorithms: stopping after any term round (or any page within a
+	// round) leaves a legal, if less refined, top-n. The Trace shows
+	// which lists were cut short (Truncated) and which were never
+	// reached (absent).
+	Partial bool
 	// Trace holds per-term detail in processing order.
 	Trace []TermTrace
 }
@@ -193,9 +212,38 @@ func NewEvaluator(ix *postings.Index, buf buffer.Pool, conv *postings.Conversion
 }
 
 // Evaluate runs the query under the given algorithm and returns the
-// ranked answer plus execution statistics.
+// ranked answer plus execution statistics. It is EvaluateContext with
+// a background context: never canceled, never bounded.
 func (e *Evaluator) Evaluate(algo Algorithm, q Query) (*Result, error) {
+	return e.EvaluateContext(context.Background(), algo, q)
+}
+
+// EvaluateContext runs the query under a request context. The context
+// is checked at every term round and every page boundary, and the
+// buffer fetch underneath honors it mid-disk-read, so a canceled or
+// expired request stops within one page read with every frame
+// unpinned.
+//
+// When the context ends mid-evaluation, EvaluateContext returns the
+// anytime partial result ALONGSIDE the context's error: a non-nil
+// *Result with Partial set, holding the top-n over everything
+// accumulated so far plus the per-term trace (cut-short lists are
+// marked Truncated). DF and BAF process terms in rounds and may stop
+// after any round with a valid, if less refined, answer (§2.2's
+// filtering loop) — the caller chooses whether to surface the partial
+// answer or only the error. Every non-context error still returns a
+// nil result.
+func (e *Evaluator) EvaluateContext(ctx context.Context, algo Algorithm, q Query) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := e.checkQuery(q); err != nil {
+		return nil, err
+	}
+	// A request that is already dead must not perturb the shared
+	// query registry (RAP re-keys replacement values on every
+	// announcement).
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	// Announce the query to the buffer manager so RAP can re-key its
@@ -213,15 +261,23 @@ func (e *Evaluator) Evaluate(algo Algorithm, q Query) (*Result, error) {
 	var err error
 	switch algo {
 	case DF:
-		err = e.runDF(q, st)
+		err = e.runDF(ctx, q, st)
 	case BAF:
-		err = e.runBAF(q, st)
+		err = e.runBAF(ctx, q, st)
 	case WebLegend:
-		err = e.runWebLegend(q, st)
+		err = e.runWebLegend(ctx, q, st)
 	default:
 		return nil, fmt.Errorf("eval: unknown algorithm %d", int(algo))
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Anytime semantics: finalize what was accumulated.
+			st.res.Top = rank.TopN(st.acc, e.Idx.DocLen, e.Params.TopN)
+			st.res.Accumulators = len(st.acc)
+			st.res.Smax = st.smax
+			st.res.Partial = true
+			return st.res, err
+		}
 		return nil, err
 	}
 
@@ -234,7 +290,7 @@ func (e *Evaluator) Evaluate(algo Algorithm, q Query) (*Result, error) {
 
 func (e *Evaluator) checkQuery(q Query) error {
 	if len(q) == 0 {
-		return fmt.Errorf("eval: empty query")
+		return ErrEmptyQuery
 	}
 	seen := make(map[postings.TermID]bool, len(q))
 	for _, qt := range q {
@@ -289,7 +345,15 @@ func (e *Evaluator) thresholds(t postings.TermID, fqt int, smax float64) (fins, 
 
 // processTerm runs Figure 1 step 4 (equivalently Figure 2 steps 3(b)-(d))
 // for one term, mutating the accumulator state and appending a trace row.
-func (e *Evaluator) processTerm(qt QueryTerm, estReads int, st *evalState) error {
+//
+// The context is checked once per page — before each fetch — and the
+// fetch itself aborts mid-read when the context dies, so cancellation
+// latency is bounded by a single page read. On a context error the
+// pages already processed are flushed into the result (the partial
+// answer must account for the work that shaped it), the trace row is
+// appended with Truncated set, and the context's error is returned;
+// the pinned frame is always released first.
+func (e *Evaluator) processTerm(ctx context.Context, qt QueryTerm, estReads int, st *evalState) error {
 	tm := &e.Idx.Terms[qt.Term]
 	fins, fadd := e.thresholds(qt.Term, qt.Fqt, st.smax)
 	tr := TermTrace{
@@ -314,11 +378,17 @@ func (e *Evaluator) processTerm(qt QueryTerm, estReads int, st *evalState) error
 	}
 
 	wqt := rank.QueryWeight(qt.Fqt, tm.IDF)
+	var ctxErr error
 
 scan:
 	for i := 0; i < tm.NumPages; i++ {
-		frame, missed, err := e.Buf.Fetch(e.Idx.PageOf(qt.Term, i))
+		frame, missed, err := e.Buf.FetchContext(ctx, e.Idx.PageOf(qt.Term, i))
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				tr.Truncated = true
+				ctxErr = err
+				break scan
+			}
 			return fmt.Errorf("eval: term %q page %d: %w", tm.Name, i, err)
 		}
 		tr.PagesProcessed++
@@ -361,12 +431,15 @@ scan:
 	st.res.PagesProcessed += tr.PagesProcessed
 	st.res.EntriesProcessed += tr.EntriesProcessed
 	st.res.Trace = append(st.res.Trace, tr)
-	return nil
+	return ctxErr
 }
 
 // runDF is Figure 1: terms sorted by decreasing idf_t (shortest lists
-// first), ties broken by TermID for determinism.
-func (e *Evaluator) runDF(q Query, st *evalState) error {
+// first), ties broken by TermID for determinism. The context is
+// re-checked at every term round — the paper's filtering loop is
+// round-structured, which is what makes stopping between rounds a
+// legal (anytime) termination.
+func (e *Evaluator) runDF(ctx context.Context, q Query, st *evalState) error {
 	ordered := make(Query, len(q))
 	copy(ordered, q)
 	sort.SliceStable(ordered, func(i, j int) bool {
@@ -378,7 +451,10 @@ func (e *Evaluator) runDF(q Query, st *evalState) error {
 		return a.Term < b.Term
 	})
 	for _, qt := range ordered {
-		if err := e.processTerm(qt, -1, st); err != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := e.processTerm(ctx, qt, -1, st); err != nil {
 			return err
 		}
 	}
@@ -391,7 +467,7 @@ func (e *Evaluator) runDF(q Query, st *evalState) error {
 // recomputed only when S_max has changed since they were computed; b_t
 // is asked of the buffer manager on every round, as the paper
 // prescribes.
-func (e *Evaluator) runBAF(q Query, st *evalState) error {
+func (e *Evaluator) runBAF(ctx context.Context, q Query, st *evalState) error {
 	n := len(q)
 	done := make([]bool, n)
 	cachedFAdd := make([]float64, n)
@@ -416,6 +492,9 @@ func (e *Evaluator) runBAF(q Query, st *evalState) error {
 	}
 
 	for remaining := n; remaining > 0; remaining-- {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if st.smax != lastSmax {
 			refresh()
 		}
@@ -436,7 +515,7 @@ func (e *Evaluator) runBAF(q Query, st *evalState) error {
 			}
 		}
 		done[best] = true
-		if err := e.processTerm(q[best], bestDt, st); err != nil {
+		if err := e.processTerm(ctx, q[best], bestDt, st); err != nil {
 			return err
 		}
 	}
@@ -449,7 +528,7 @@ func (e *Evaluator) runBAF(q Query, st *evalState) error {
 // Ignored terms appear in the trace with Skipped set and an
 // EstimatedReads of 0, so callers can count how often user intent was
 // discarded.
-func (e *Evaluator) runWebLegend(q Query, st *evalState) error {
+func (e *Evaluator) runWebLegend(ctx context.Context, q Query, st *evalState) error {
 	anyBuffered := false
 	buffered := make([]bool, len(q))
 	for i, qt := range q {
@@ -459,7 +538,7 @@ func (e *Evaluator) runWebLegend(q Query, st *evalState) error {
 		}
 	}
 	if !anyBuffered {
-		return e.runDF(q, st)
+		return e.runDF(ctx, q, st)
 	}
 	type indexed struct {
 		qt  QueryTerm
@@ -477,6 +556,9 @@ func (e *Evaluator) runWebLegend(q Query, st *evalState) error {
 		return ordered[i].qt.Term < ordered[j].qt.Term
 	})
 	for _, it := range ordered {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if !it.buf {
 			tm := &e.Idx.Terms[it.qt.Term]
 			st.res.Trace = append(st.res.Trace, TermTrace{
@@ -489,7 +571,7 @@ func (e *Evaluator) runWebLegend(q Query, st *evalState) error {
 			})
 			continue
 		}
-		if err := e.processTerm(it.qt, -1, st); err != nil {
+		if err := e.processTerm(ctx, it.qt, -1, st); err != nil {
 			return err
 		}
 	}

@@ -17,6 +17,18 @@ type ServingCounters struct {
 	// ServiceNanos accumulates per-query service time (dequeue to
 	// completion), the numerator of mean latency.
 	ServiceNanos atomic.Int64
+
+	// Request-lifecycle outcomes. Every submitted request lands in
+	// exactly one bucket: completed (Queries - the rest), Shed
+	// (rejected at admission, queue full), Timeouts (deadline expired
+	// before completion), or Canceled (context canceled). Partials
+	// counts the subset of Timeouts that returned an anytime partial
+	// answer instead of an error; a partial-returning request counts in
+	// both Timeouts and Partials.
+	Shed     atomic.Int64
+	Timeouts atomic.Int64
+	Canceled atomic.Int64
+	Partials atomic.Int64
 }
 
 // ServingSnapshot is a point-in-time copy of ServingCounters.
@@ -27,6 +39,10 @@ type ServingSnapshot struct {
 	PagesProcessed   int64
 	EntriesProcessed int64
 	ServiceNanos     int64
+	Shed             int64
+	Timeouts         int64
+	Canceled         int64
+	Partials         int64
 }
 
 // Snapshot copies the counters.
@@ -38,6 +54,10 @@ func (c *ServingCounters) Snapshot() ServingSnapshot {
 		PagesProcessed:   c.PagesProcessed.Load(),
 		EntriesProcessed: c.EntriesProcessed.Load(),
 		ServiceNanos:     c.ServiceNanos.Load(),
+		Shed:             c.Shed.Load(),
+		Timeouts:         c.Timeouts.Load(),
+		Canceled:         c.Canceled.Load(),
+		Partials:         c.Partials.Load(),
 	}
 }
 

@@ -7,6 +7,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,7 @@ import (
 // for offline workload construction, and read accounting.
 type PageSource interface {
 	Read(id postings.PageID) ([]postings.Entry, error)
+	ReadContext(ctx context.Context, id postings.PageID) ([]postings.Entry, error)
 	ReadQuiet(id postings.PageID) ([]postings.Entry, error)
 	Reads() int64
 	ResetReads()
@@ -68,6 +70,16 @@ func (s *Store) NumPages() int { return len(s.pages) }
 // Read fetches a page, incrementing the disk-read counter. The
 // returned slice must be treated as immutable.
 func (s *Store) Read(id postings.PageID) ([]postings.Entry, error) {
+	return s.ReadContext(context.Background(), id)
+}
+
+// ReadContext is Read bounded by a context: a read that would sleep on
+// the simulated disk latency returns ctx.Err() as soon as the context
+// is canceled or expires, and an already-dead context fails before
+// touching the disk at all. Reads abandoned this way are not counted,
+// so read totals keep meaning "pages actually delivered" — the paper's
+// cost metric — under any amount of cancellation.
+func (s *Store) ReadContext(ctx context.Context, id postings.PageID) ([]postings.Entry, error) {
 	if int(id) < 0 || int(id) >= len(s.pages) {
 		return nil, fmt.Errorf("storage: page %d out of range [0,%d)", id, len(s.pages))
 	}
@@ -76,10 +88,23 @@ func (s *Store) Read(id postings.PageID) ([]postings.Entry, error) {
 			return nil, ErrInjectedFault
 		}
 	}
-	s.reads.Add(1)
-	if d := s.latencyNanos.Load(); d > 0 {
-		time.Sleep(time.Duration(d))
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
+	if d := s.latencyNanos.Load(); d > 0 {
+		if done := ctx.Done(); done != nil {
+			timer := time.NewTimer(time.Duration(d))
+			select {
+			case <-timer.C:
+			case <-done:
+				timer.Stop()
+				return nil, ctx.Err()
+			}
+		} else {
+			time.Sleep(time.Duration(d))
+		}
+	}
+	s.reads.Add(1)
 	return s.pages[id], nil
 }
 

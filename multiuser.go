@@ -1,6 +1,7 @@
 package bufir
 
 import (
+	"context"
 	"sync"
 
 	"bufir/internal/buffer"
@@ -40,20 +41,14 @@ func (ix *Index) NewSharedSessionPool(bufferPages int, policy Policy) (*SharedSe
 
 // NewSession creates a session whose queries run against the shared
 // pool. Close the session when the user leaves so its query weights
-// stop protecting pages.
+// stop protecting pages. Only cfg's EvalOptions apply here (the pool
+// already fixed its policy and capacity); with CAdd and CIns both
+// zero, shared-pool sessions default to the collection-tuned
+// constants, like the Engine they underpin.
 func (sp *SharedSessionPool) NewSession(cfg SessionConfig) (*SharedSession, error) {
-	if cfg.TopN == 0 {
-		cfg.TopN = 20
-	}
-	params := eval.Params{
-		CAdd:           cfg.CAdd,
-		CIns:           cfg.CIns,
-		TopN:           cfg.TopN,
-		ForceFirstPage: cfg.ForceFirstPage,
-	}
-	if !cfg.Unfiltered && params.CAdd == 0 && params.CIns == 0 {
-		tp := eval.TunedParams()
-		params.CAdd, params.CIns = tp.CAdd, tp.CIns
+	params, err := cfg.params(eval.TunedParams())
+	if err != nil {
+		return nil, err
 	}
 	sp.mu.Lock()
 	id := sp.nextID
@@ -87,7 +82,15 @@ type SharedSession struct {
 
 // Search evaluates a query against the shared pool.
 func (s *SharedSession) Search(q Query) (*Result, error) {
-	return s.ev.Evaluate(s.algo, q)
+	return s.SearchContext(context.Background(), q)
+}
+
+// SearchContext is Search bound to a context: canceling it (or an
+// expiring deadline) stops the evaluation within one page read, with
+// every shared-pool frame unpinned; the anytime partial answer is
+// returned alongside the context's error (Result.Partial set).
+func (s *SharedSession) SearchContext(ctx context.Context, q Query) (*Result, error) {
+	return s.ev.EvaluateContext(ctx, s.algo, q)
 }
 
 // Close withdraws the session's query from the shared registry.

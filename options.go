@@ -1,0 +1,53 @@
+package bufir
+
+import "bufir/internal/eval"
+
+// EvalOptions is the set of evaluation knobs shared by every way of
+// running queries — private Sessions (SessionConfig), sessions on a
+// SharedSessionPool, and the concurrent Engine (EngineConfig). The
+// configs embed it, so the knobs read the same everywhere; in
+// composite literals set them through the embedded field:
+//
+//	bufir.SessionConfig{EvalOptions: bufir.EvalOptions{Algorithm: bufir.BAF}}
+type EvalOptions struct {
+	// Algorithm is DF or BAF (default DF).
+	Algorithm Algorithm
+	// CAdd and CIns are the filtering constants. Both zero selects the
+	// config's default tuning — the paper's WSJ calibration
+	// (CAdd=0.002, CIns=0.07) for private Sessions, the
+	// collection-tuned constants for Engines and shared-pool sessions
+	// (their workloads run on the synthetic collection the tuning was
+	// fit to) — unless Unfiltered is set.
+	CAdd, CIns float64
+	// Unfiltered disables the unsafe optimization entirely (safe,
+	// exhaustive evaluation).
+	Unfiltered bool
+	// TopN is the result size n (default 20).
+	TopN int
+	// ForceFirstPage guarantees at least one page of every query term
+	// is processed (the paper's fix for ignored refinement terms).
+	ForceFirstPage bool
+}
+
+// params resolves the options into evaluator parameters: TopN defaults
+// to 20, and when filtering is enabled with both constants zero, CAdd
+// and CIns are taken from fallback. This is the single defaulting and
+// validation path for all configs.
+func (o EvalOptions) params(fallback eval.Params) (eval.Params, error) {
+	p := eval.Params{
+		CAdd:           o.CAdd,
+		CIns:           o.CIns,
+		TopN:           o.TopN,
+		ForceFirstPage: o.ForceFirstPage,
+	}
+	if p.TopN == 0 {
+		p.TopN = 20
+	}
+	if !o.Unfiltered && p.CAdd == 0 && p.CIns == 0 {
+		p.CAdd, p.CIns = fallback.CAdd, fallback.CIns
+	}
+	if err := p.Validate(); err != nil {
+		return eval.Params{}, err
+	}
+	return p, nil
+}

@@ -4,7 +4,7 @@ import "testing"
 
 func TestRefinementSession(t *testing.T) {
 	col, ix := testIndex(t)
-	s, err := ix.NewSession(SessionConfig{Algorithm: BAF, Policy: RAP, BufferPages: 96})
+	s, err := ix.NewSession(SessionConfig{EvalOptions: EvalOptions{Algorithm: BAF}, Policy: RAP, BufferPages: 96})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestRefinementSession(t *testing.T) {
 		t.Error("no disk reads recorded")
 	}
 	last := ref.History[len(ref.History)-1]
-	cold, err := ix.NewSession(SessionConfig{Algorithm: BAF, Policy: RAP, BufferPages: 96})
+	cold, err := ix.NewSession(SessionConfig{EvalOptions: EvalOptions{Algorithm: BAF}, Policy: RAP, BufferPages: 96})
 	if err != nil {
 		t.Fatal(err)
 	}

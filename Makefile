@@ -1,24 +1,48 @@
 # Tier-1 gate and development targets. `make ci` is the full gate run
-# before every merge: lint (staticcheck when installed, vet otherwise,
-# plus a gofmt check), build, the whole test suite twice (plain and
-# -race, the race run covering the 16-goroutine engine stress tests),
-# the goroutine/frame leak assertions of the request-lifecycle tests,
-# and the fuzz seed corpora under testdata/fuzz.
+# before every merge: lint (a pinned staticcheck, installed on demand;
+# loud vet fallback when the install cannot reach the module proxy,
+# plus a gofmt check), the dependency-graph check (the optional HTTP
+# observability endpoint must stay out of the core library's build
+# graph), build, the whole test suite twice (plain and -race, the race
+# run covering the 16-goroutine engine stress tests), the
+# goroutine/frame leak assertions of the request-lifecycle tests, and
+# the fuzz seed corpora under testdata/fuzz.
 
 GO ?= go
 
-.PHONY: ci lint vet build test race leaks fuzz-seeds fuzz bench concurrency
+# Pinned lint toolchain: every CI run uses the same staticcheck, not
+# whatever happens to be on PATH.
+STATICCHECK_VERSION ?= 2025.1
+STATICCHECK := $(shell $(GO) env GOPATH)/bin/staticcheck
 
-ci: lint build test race leaks fuzz-seeds
+.PHONY: ci lint depgraph vet build test race leaks fuzz-seeds fuzz bench concurrency obs
+
+ci: lint depgraph build test race leaks fuzz-seeds
 
 lint:
-	@if command -v staticcheck >/dev/null 2>&1; then \
-		echo staticcheck ./...; staticcheck ./...; \
+	@if [ -x "$(STATICCHECK)" ] || $(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) 2>/dev/null; then \
+		echo "staticcheck ./... ($$($(STATICCHECK) -version 2>/dev/null || echo unknown))"; \
+		"$(STATICCHECK)" ./...; \
 	else \
-		echo "$(GO) vet ./... (staticcheck not installed)"; $(GO) vet ./...; \
+		echo "WARNING: could not install staticcheck@$(STATICCHECK_VERSION) (offline?); falling back to go vet." >&2; \
+		echo "WARNING: this is a weaker check than the CI gate intends — install staticcheck when network returns." >&2; \
+		$(GO) vet ./...; \
 	fi
 	@out=$$(gofmt -l . 2>/dev/null); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Dependency-graph hygiene: the core library must never link net/http
+# (or net/http/pprof, whose init registers handlers on the default
+# mux). The endpoint is opt-in via a blank import of bufir/obshttp; a
+# regression here would put an HTTP stack in every binary using the
+# library.
+depgraph:
+	@bad=$$($(GO) list -deps . ./internal/engine ./internal/buffer ./internal/eval ./internal/obs \
+		| grep -x 'net/http\|net/http/pprof\|bufir/internal/obshttp\|bufir/obshttp' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "depgraph: core packages must not depend on:"; echo "$$bad"; exit 1; \
+	fi; \
+	echo "depgraph ok: core library free of net/http"
 
 vet:
 	$(GO) vet ./...
@@ -56,3 +80,9 @@ bench:
 # 1-worker exactness verification against the serial E12 run.
 concurrency:
 	$(GO) run ./cmd/irbench -exp concurrency
+
+# The observability experiment: histogram/gauge report plus the
+# /metrics self-scrape consistency check; holds the endpoint 30s so it
+# can be curl'ed from another terminal.
+obs:
+	$(GO) run ./cmd/irbench -exp obs -obshold 30s

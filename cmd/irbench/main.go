@@ -11,7 +11,7 @@
 // -exp is a comma-separated subset of:
 //
 //	fig3 fig4 table4 table5 table12 table6 fig5 fig6 table7 fig7 fig8
-//	multiuser concurrency lifecycle ablations baselines compression
+//	multiuser concurrency lifecycle obs ablations baselines compression
 //	feedback docsorted weblegend boolean dualbuf summary effect
 //
 // (fig56/fig78 are aliases for the figure pairs; default "all").
@@ -22,7 +22,11 @@
 // (QueryTimeout with OnDeadline=Partial and a bounded admission
 // queue) across the untimed service-time distribution, reporting
 // shed/timeout/partial counters and the deadline-vs-overlap@20
-// tradeoff.
+// tradeoff. obs runs the same workload on an engine with the HTTP
+// observability endpoint live on -obsaddr, prints the histogram/gauge
+// report, and verifies the /metrics self-scrape against the engine's
+// counters; -obshold keeps the endpoint up after the run so it can be
+// curl'ed from outside.
 package main
 
 import (
@@ -56,6 +60,8 @@ func main() {
 		cusers  = flag.Int("cusers", 16, "concurrent sessions in the concurrency experiment")
 		cshards = flag.Int("cshards", 8, "buffer-pool latch shards in the concurrency experiment")
 		disklat = flag.Duration("disklat", 200*time.Microsecond, "simulated disk read latency for the concurrency experiment")
+		obsaddr = flag.String("obsaddr", "127.0.0.1:0", "listen address of the obs experiment's metrics endpoint")
+		obshold = flag.Duration("obshold", 0, "keep the obs experiment's endpoint up this long after the run")
 	)
 	flag.Parse()
 
@@ -169,6 +175,9 @@ func main() {
 	})
 	run("lifecycle", func() (formatter, error) {
 		return env.RunLifecycle(*cusers, 4, *cshards, *disklat)
+	})
+	run("obs", func() (formatter, error) {
+		return env.RunObs(*obsaddr, *cusers, 4, *cshards, *disklat, *points, *obshold)
 	})
 	run("ablations", func() (formatter, error) { return env.RunAblations() })
 	run("baselines", func() (formatter, error) { return env.RunBaselines(*points) })

@@ -9,6 +9,7 @@ import (
 	"bufir/internal/engine"
 	"bufir/internal/eval"
 	"bufir/internal/metrics"
+	"bufir/internal/obs"
 )
 
 // DeadlinePolicy selects what a request that hits its deadline
@@ -56,7 +57,31 @@ type EngineConfig struct {
 	// OnDeadline selects the deadline outcome: AbortOnDeadline
 	// (default) or PartialOnDeadline.
 	OnDeadline DeadlinePolicy
+	// Obs configures the optional observability endpoint. Zero value:
+	// no listener, no overhead beyond the always-on atomic counters.
+	Obs ObsOptions
 }
+
+// ObsOptions configures the engine's optional HTTP observability
+// endpoint (Prometheus-text /metrics, JSON /statusz, pprof).
+type ObsOptions struct {
+	// Addr, when non-empty, is the listen address (e.g.
+	// "127.0.0.1:9090"; ":0" picks a free port — read it back with
+	// Engine.ObsAddr). Requires a blank import of bufir/obshttp, which
+	// links the HTTP implementation; without it NewEngine fails with
+	// ErrObsUnavailable. The endpoint has no authentication: bind it to
+	// localhost or a private interface.
+	Addr string
+}
+
+// ObsSnapshot is the full observability snapshot: serving counters,
+// queue-wait and service latency histograms, engine gauges, and the
+// buffer pool's live state.
+type ObsSnapshot = obs.Snapshot
+
+// HistogramSnapshot is a mergeable fixed-bucket latency histogram
+// snapshot with P50/P95/P99/Mean accessors.
+type HistogramSnapshot = obs.HistogramSnapshot
 
 // EngineStats is a snapshot of the engine's atomic serving counters.
 type EngineStats = metrics.ServingSnapshot
@@ -76,6 +101,7 @@ type EngineStats = metrics.ServingSnapshot
 type Engine struct {
 	inner *engine.Engine
 	pool  *buffer.SharedPool
+	obs   obs.HTTPServer // nil unless ObsOptions.Addr was set
 }
 
 // Ticket is a handle on a submitted request.
@@ -136,7 +162,16 @@ func (ix *Index) NewEngine(cfg EngineConfig) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{inner: inner, pool: pool}, nil
+	e := &Engine{inner: inner, pool: pool}
+	if cfg.Obs.Addr != "" {
+		srv, err := obs.StartHTTPServer(cfg.Obs.Addr, inner)
+		if err != nil {
+			inner.Close()
+			return nil, err
+		}
+		e.obs = srv
+	}
+	return e, nil
 }
 
 // policyFactory maps a Policy name to a constructor of fresh policy
@@ -190,14 +225,40 @@ func (e *Engine) Stats() EngineStats { return e.inner.Counters() }
 // BufferStats returns the shared pool's hit/miss/eviction counters.
 func (e *Engine) BufferStats() BufferStats { return e.inner.BufferStats() }
 
+// Obs returns the full observability snapshot: counters, queue-wait
+// and service latency histograms (P50/P95/P99), engine gauges, and the
+// buffer pool's live state. Always available — the HTTP endpoint is
+// just a renderer over this same snapshot.
+func (e *Engine) Obs() ObsSnapshot { return e.inner.ObsSnapshot() }
+
+// ObsAddr returns the observability endpoint's bound listen address,
+// or "" when none was configured. Useful with ObsOptions.Addr ":0".
+func (e *Engine) ObsAddr() string {
+	if e.obs == nil {
+		return ""
+	}
+	return e.obs.Addr()
+}
+
 // Close drains pending requests, stops the workers, and withdraws all
 // sessions from the shared query registry, waiting as long as the
 // drain takes. Idempotent.
-func (e *Engine) Close() { e.inner.Close() }
+func (e *Engine) Close() {
+	e.inner.Close()
+	if e.obs != nil {
+		_ = e.obs.Close()
+	}
+}
 
 // Shutdown is Close with a deadline: admission stops immediately, and
 // if ctx expires before the queue drains, every remaining request is
 // canceled — each stops within one page read — before Shutdown
 // returns ctx.Err(). A nil return means every accepted request ran to
 // completion. Safe to call concurrently with Close and itself.
-func (e *Engine) Shutdown(ctx context.Context) error { return e.inner.Shutdown(ctx) }
+func (e *Engine) Shutdown(ctx context.Context) error {
+	err := e.inner.Shutdown(ctx)
+	if e.obs != nil {
+		_ = e.obs.Close()
+	}
+	return err
+}

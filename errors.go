@@ -5,6 +5,7 @@ import (
 
 	"bufir/internal/engine"
 	"bufir/internal/eval"
+	"bufir/internal/obs"
 )
 
 // Sentinel errors of the public API, testable with errors.Is. Error
@@ -28,6 +29,11 @@ var (
 	// ErrUnknownPolicy is returned for a Policy name that is not LRU,
 	// MRU or RAP.
 	ErrUnknownPolicy = errors.New("bufir: unknown policy")
+	// ErrObsUnavailable is returned by NewEngine when ObsOptions.Addr
+	// is set but no HTTP endpoint implementation is linked in. Import
+	// bufir/obshttp (blank import is enough) to enable it; the core
+	// library deliberately does not depend on net/http.
+	ErrObsUnavailable = obs.ErrHTTPUnavailable
 )
 
 // hintedErr carries a site-specific message while unwrapping to a

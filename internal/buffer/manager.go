@@ -254,6 +254,12 @@ func (m *Manager) PinnedFrames() int {
 	return n
 }
 
+// ShardOccupancy reports the single latch domain's occupancy: the
+// whole pool is one shard.
+func (m *Manager) ShardOccupancy() []int {
+	return []int{m.InUse()}
+}
+
 // SetQuery announces the query about to be evaluated by supplying its
 // term weights w_{q,t}. LRU and MRU ignore this; RAP re-keys every
 // buffered page's replacement value (§3.3: values change between

@@ -210,6 +210,17 @@ func TestShardedManagerProperties(t *testing.T) {
 			if got := mgr.InUse(); got > capacity {
 				t.Fatalf("trial %d op %d: InUse %d > capacity %d", trial, op, got, capacity)
 			}
+			occ := mgr.ShardOccupancy()
+			if len(occ) != nshards {
+				t.Fatalf("trial %d op %d: %d occupancy entries for %d shards", trial, op, len(occ), nshards)
+			}
+			occSum := 0
+			for _, n := range occ {
+				occSum += n
+			}
+			if occSum != mgr.InUse() {
+				t.Fatalf("trial %d op %d: shard occupancy sums to %d, InUse %d", trial, op, occSum, mgr.InUse())
+			}
 			for _, f := range held {
 				if !mgr.Contains(f.Page) {
 					t.Fatalf("trial %d op %d: pinned page %d was evicted", trial, op, f.Page)

@@ -332,6 +332,21 @@ func (m *ShardedManager) PinnedFrames() int {
 	return total
 }
 
+// ShardOccupancy returns occupied frames per latch shard, in shard
+// order. Shards are locked one at a time, so the slice is a consistent
+// per-shard reading but only approximately a point-in-time total under
+// concurrent load — exact at quiescence, when tests read it.
+func (m *ShardedManager) ShardOccupancy() []int {
+	occ := make([]int, len(m.shards))
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		occ[i] = len(sh.frames)
+		sh.mu.Unlock()
+	}
+	return occ
+}
+
 // SetQuery pushes the query weights to every shard's policy. Stale
 // concurrent announcements are dropped via a global sequence number,
 // so after racing calls every shard holds the newest weights — the

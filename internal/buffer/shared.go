@@ -45,6 +45,11 @@ type PoolManager interface {
 	// PinnedFrames counts frames holding at least one pin; zero at
 	// quiescence or something leaked a pin.
 	PinnedFrames() int
+	// ShardOccupancy returns occupied frames per latch shard — one
+	// element per shard, summing to InUse. Single-latch managers report
+	// one element. Observability reads this to show load skew across
+	// latch domains.
+	ShardOccupancy() []int
 	Capacity() int
 	Policy() string
 	Flush()

@@ -35,11 +35,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bufir/internal/buffer"
 	"bufir/internal/eval"
 	"bufir/internal/metrics"
+	"bufir/internal/obs"
 	"bufir/internal/postings"
 )
 
@@ -110,8 +112,11 @@ type Job struct {
 	prev <-chan struct{} // previous job of the same user (nil if none)
 	done chan struct{}
 
+	enqueued time.Time
+
 	res     *eval.Result
 	err     error
+	wait    time.Duration
 	service time.Duration
 }
 
@@ -130,6 +135,11 @@ func (j *Job) Cancel() { j.cancel() }
 // Service returns the job's service time (dequeue to completion),
 // valid after Wait returns.
 func (j *Job) Service() time.Duration { return j.service }
+
+// QueueWait returns how long the job sat between Submit and execution
+// start — queue time plus any parking behind the same user's previous
+// job — valid after Wait returns.
+func (j *Job) QueueWait() time.Duration { return j.wait }
 
 // userState is one user's session: a registry view on the shared pool
 // and a (re-entrant) evaluator. tail chains the user's jobs so they
@@ -166,7 +176,16 @@ type Engine struct {
 	closed bool
 
 	counters metrics.ServingCounters
+
+	// Observability: latency distributions and live gauges. All
+	// lock-free — workers record on the hot path.
+	queueWait  obs.Histogram
+	service    obs.Histogram
+	queueDepth atomic.Int64 // accepted, not yet picked up by a worker
+	inFlight   atomic.Int64 // currently held by a worker
 }
+
+var _ obs.Source = (*Engine)(nil)
 
 // New starts an engine with cfg.Workers goroutines serving queries
 // against the shared pool.
@@ -256,11 +275,12 @@ func (e *Engine) SubmitContext(ctx context.Context, user int, q eval.Query) (*Jo
 	stop := context.AfterFunc(e.stopCtx, cancel)
 	j := &Job{
 		User: user, Query: q,
-		ctx:    jctx,
-		cancel: func() { stop(); cancel() },
-		us:     us,
-		prev:   us.tail,
-		done:   make(chan struct{}),
+		ctx:      jctx,
+		cancel:   func() { stop(); cancel() },
+		us:       us,
+		prev:     us.tail,
+		done:     make(chan struct{}),
+		enqueued: time.Now(),
 	}
 	if e.cfg.MaxQueue > 0 {
 		select {
@@ -273,6 +293,7 @@ func (e *Engine) SubmitContext(ctx context.Context, user int, q eval.Query) (*Jo
 	} else {
 		e.queue <- j
 	}
+	e.queueDepth.Add(1)
 	us.tail = j.done
 	return j, nil
 }
@@ -317,10 +338,14 @@ func (e *Engine) userLocked(user int) (*userState, error) {
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for j := range e.queue {
+		e.queueDepth.Add(-1)
+		e.inFlight.Add(1)
 		if j.prev != nil {
 			<-j.prev
 		}
 		start := time.Now()
+		j.wait = start.Sub(j.enqueued)
+		e.queueWait.Observe(j.wait)
 		var res *eval.Result
 		err := j.ctx.Err()
 		if err == nil {
@@ -330,8 +355,22 @@ func (e *Engine) worker() {
 
 		e.counters.Queries.Add(1)
 		e.counters.ServiceNanos.Add(int64(j.service))
+		e.service.Observe(j.service)
+		if res != nil {
+			// Charge disk and CPU costs for EVERY evaluation that ran —
+			// completed, partial, timed-out or canceled — before the
+			// outcome switch below may discard the result. The I/O
+			// happened whether or not an answer is delivered, and
+			// charging here (not on the surviving result) is what keeps
+			// PagesRead equal to the buffer pool's miss count.
+			e.counters.PagesRead.Add(int64(res.PagesRead))
+			e.counters.PagesProcessed.Add(int64(res.PagesProcessed))
+			e.counters.EntriesProcessed.Add(int64(res.EntriesProcessed))
+		}
 		switch {
 		case err == nil:
+			e.counters.Completed.Add(1)
+			e.counters.CompletedServiceNanos.Add(int64(j.service))
 		case errors.Is(err, context.DeadlineExceeded):
 			e.counters.Timeouts.Add(1)
 			if e.cfg.OnDeadline == PartialOnDeadline && res != nil {
@@ -343,29 +382,55 @@ func (e *Engine) worker() {
 				res = nil
 			}
 		case errors.Is(err, context.Canceled):
-			// The caller withdrew; nobody wants even a partial answer.
+			// The caller withdrew; nobody wants even a partial answer —
+			// but the pages it read were charged above.
 			e.counters.Canceled.Add(1)
 			res = nil
 		default:
 			e.counters.Errors.Add(1)
 			res = nil
 		}
-		if res != nil {
-			// Partial answers are charged for the pages they read:
-			// read totals stay the cost metric under deadlines.
-			e.counters.PagesRead.Add(int64(res.PagesRead))
-			e.counters.PagesProcessed.Add(int64(res.PagesProcessed))
-			e.counters.EntriesProcessed.Add(int64(res.EntriesProcessed))
-		}
 		j.res, j.err = res, err
 		j.cancel() // release the timeout timer and stop-link
 		close(j.done)
+		e.inFlight.Add(-1)
 	}
 }
 
 // Counters returns a snapshot of the engine's atomic serving counters.
 func (e *Engine) Counters() metrics.ServingSnapshot {
 	return e.counters.Snapshot()
+}
+
+// ObsSnapshot assembles the full observability snapshot: serving
+// counters, latency histograms, engine gauges, and the buffer pool's
+// live state. Lock-free on the engine side (counters and histograms
+// are atomic); the buffer gauges take the pool's shard latches one at
+// a time. Exact at quiescence, approximate mid-flight — both are fine
+// for /metrics scrapes and experiment reports.
+func (e *Engine) ObsSnapshot() obs.Snapshot {
+	mgr := e.pool.Manager()
+	st := mgr.Stats()
+	return obs.Snapshot{
+		Serving: e.counters.Snapshot(),
+		Engine: obs.EngineGauges{
+			Workers:    e.cfg.Workers,
+			QueueDepth: e.queueDepth.Load(),
+			InFlight:   e.inFlight.Load(),
+		},
+		QueueWait: e.queueWait.Snapshot(),
+		Service:   e.service.Snapshot(),
+		Buffer: obs.BufferSnapshot{
+			Policy:         mgr.Policy(),
+			Capacity:       mgr.Capacity(),
+			InUse:          mgr.InUse(),
+			Pinned:         mgr.PinnedFrames(),
+			Hits:           st.Hits,
+			Misses:         st.Misses,
+			Evictions:      st.Evictions,
+			ShardOccupancy: mgr.ShardOccupancy(),
+		},
+	}
 }
 
 // BufferStats returns the shared pool's counters.

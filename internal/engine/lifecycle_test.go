@@ -3,9 +3,11 @@ package engine_test
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -125,6 +127,11 @@ func TestCancelMidEvaluationNoLeaks(t *testing.T) {
 	if st.Queries != users*rounds {
 		t.Errorf("Queries = %d, want %d", st.Queries, users*rounds)
 	}
+	// Regression: canceled evaluations used to lose their disk-read
+	// charges (the result was nulled before the counters were added).
+	if misses := pool.Manager().Stats().Misses; st.PagesRead != misses {
+		t.Errorf("PagesRead %d != pool misses %d: canceled evaluations lost their read charges", st.PagesRead, misses)
+	}
 }
 
 // TestQueueFullShed: with MaxQueue set and the lone worker stalled on
@@ -212,6 +219,9 @@ func TestDeadlinePartial(t *testing.T) {
 	if st.Partials == 0 || st.Timeouts < st.Partials {
 		t.Errorf("counters: Timeouts=%d Partials=%d, want Partials>0 and Timeouts>=Partials", st.Timeouts, st.Partials)
 	}
+	if misses := pool.Manager().Stats().Misses; st.PagesRead != misses {
+		t.Errorf("PagesRead %d != pool misses %d: timed-out evaluations lost their read charges", st.PagesRead, misses)
+	}
 }
 
 // TestDeadlineAbort: the default policy surfaces
@@ -233,8 +243,15 @@ func TestDeadlineAbort(t *testing.T) {
 	}
 	eng.Close()
 	assertNoEngineLeaks(t, pool)
-	if st := eng.Counters(); st.Timeouts != 1 || st.Partials != 0 {
+	st := eng.Counters()
+	if st.Timeouts != 1 || st.Partials != 0 {
 		t.Errorf("counters: Timeouts=%d Partials=%d, want 1/0", st.Timeouts, st.Partials)
+	}
+	// Regression: the aborted request returns no result, but the pages
+	// it read before the deadline must still be charged. (The deadline
+	// can race the first read to zero pages; equality is the invariant.)
+	if misses := pool.Manager().Stats().Misses; st.PagesRead != misses {
+		t.Errorf("PagesRead %d (pool misses %d): aborted evaluation's reads must be charged", st.PagesRead, misses)
 	}
 }
 
@@ -268,6 +285,103 @@ func TestCanceledWhileQueued(t *testing.T) {
 	assertNoEngineLeaks(t, pool)
 	if st := eng.Counters(); st.Canceled != 1 {
 		t.Errorf("Canceled = %d, want 1", st.Canceled)
+	}
+}
+
+// TestOutcomeInvariant: under randomized cancel/timeout/shed load (run
+// with -race in CI) the outcome buckets partition the executed
+// requests exactly — Queries == Completed + Timeouts + Canceled +
+// Errors — Shed counts only never-executed requests and stays
+// disjoint, Partials is a subset of Timeouts, and every executed
+// request's disk reads are charged (PagesRead == pool misses).
+func TestOutcomeInvariant(t *testing.T) {
+	e := testEnv(t)
+	eng, pool := newTestEngine(t, 48, 4, 4, engine.Config{
+		MaxQueue:     8,
+		QueryTimeout: 2 * time.Millisecond,
+		OnDeadline:   engine.PartialOnDeadline,
+	})
+	e.Store.SetReadLatency(80 * time.Microsecond)
+	defer e.Store.SetReadLatency(0)
+
+	// Pre-generate the cancellation plan: rand.Rand is not
+	// goroutine-safe, and a fixed seed keeps failures replayable.
+	const users, rounds = 8, 6
+	r := rand.New(rand.NewSource(1998))
+	cancelAfter := make([][]time.Duration, users)
+	for u := range cancelAfter {
+		cancelAfter[u] = make([]time.Duration, rounds)
+		for i := range cancelAfter[u] {
+			if r.Intn(2) == 0 {
+				cancelAfter[u][i] = time.Duration(r.Intn(1500)) * time.Microsecond
+			} else {
+				cancelAfter[u][i] = -1 // never canceled by the caller
+			}
+		}
+	}
+
+	var accepted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				j, err := eng.SubmitContext(ctx, u, e.Queries[(u+i)%len(e.Queries)])
+				if err != nil {
+					cancel()
+					if errors.Is(err, engine.ErrQueueFull) {
+						shed.Add(1)
+						continue
+					}
+					t.Error(err)
+					return
+				}
+				accepted.Add(1)
+				if d := cancelAfter[u][i]; d >= 0 {
+					go func() {
+						time.Sleep(d)
+						cancel()
+					}()
+				}
+				res, err := j.Wait()
+				switch {
+				case err == nil:
+					// Completed, or a partial under the deadline policy.
+				case errors.Is(err, context.Canceled):
+				case errors.Is(err, context.DeadlineExceeded):
+				default:
+					t.Errorf("user %d round %d: unexpected error %v", u, i, err)
+				}
+				_ = res
+				cancel()
+			}
+		}(u)
+	}
+	wg.Wait()
+	eng.Close()
+	assertNoEngineLeaks(t, pool)
+
+	st := eng.Counters()
+	if st.Queries != accepted.Load() {
+		t.Errorf("Queries = %d, accepted %d", st.Queries, accepted.Load())
+	}
+	if st.Shed != shed.Load() {
+		t.Errorf("Shed = %d, rejected submits %d", st.Shed, shed.Load())
+	}
+	if got := st.Completed + st.Timeouts + st.Canceled + st.Errors; got != st.Queries {
+		t.Errorf("outcome buckets don't partition: completed %d + timeouts %d + canceled %d + errors %d = %d != queries %d",
+			st.Completed, st.Timeouts, st.Canceled, st.Errors, got, st.Queries)
+	}
+	if st.Errors != 0 {
+		t.Errorf("unexpected Errors = %d", st.Errors)
+	}
+	if st.Partials > st.Timeouts {
+		t.Errorf("Partials %d > Timeouts %d", st.Partials, st.Timeouts)
+	}
+	if misses := pool.Manager().Stats().Misses; st.PagesRead != misses {
+		t.Errorf("PagesRead %d != pool misses %d", st.PagesRead, misses)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"bufir/internal/buffer"
 	"bufir/internal/postings"
@@ -146,8 +147,13 @@ type TermTrace struct {
 	EstimatedReads   int     // BAF's d_t at selection time; -1 under DF
 	PagesProcessed   int
 	PagesRead        int // buffer misses while scanning this term
+	PagesHit         int // buffer hits while scanning this term
 	EntriesProcessed int
-	Skipped          bool // true if f_max <= f_add skipped the whole list
+	// Elapsed is the wall time spent in this term's round, from
+	// threshold computation through the last page scanned (zero for
+	// rounds skipped without touching the buffer).
+	Elapsed time.Duration
+	Skipped bool // true if f_max <= f_add skipped the whole list
 	// Truncated is true when the request's context was canceled or
 	// expired mid-list: the scan stopped at a page boundary with only
 	// the pages counted above processed. A truncated term is the
@@ -174,6 +180,9 @@ type Result struct {
 	SelectionInquiries int
 	// Smax is the final maximum unnormalized accumulator value.
 	Smax float64
+	// Elapsed is the wall time of the whole evaluation, including the
+	// final ranking step; the per-round times in Trace sum to less.
+	Elapsed time.Duration
 	// Partial is true when the evaluation was cut short by context
 	// cancellation or deadline expiry. Top still holds a valid ranking
 	// of everything accumulated so far — DF and BAF are anytime
@@ -254,6 +263,7 @@ func (e *Evaluator) EvaluateContext(ctx context.Context, algo Algorithm, q Query
 	}
 	e.Buf.SetQuery(func(t postings.TermID) float64 { return weights[t] })
 
+	start := time.Now()
 	st := &evalState{
 		acc: make(map[postings.DocID]float64, 64),
 		res: &Result{},
@@ -276,6 +286,7 @@ func (e *Evaluator) EvaluateContext(ctx context.Context, algo Algorithm, q Query
 			st.res.Accumulators = len(st.acc)
 			st.res.Smax = st.smax
 			st.res.Partial = true
+			st.res.Elapsed = time.Since(start)
 			return st.res, err
 		}
 		return nil, err
@@ -285,6 +296,7 @@ func (e *Evaluator) EvaluateContext(ctx context.Context, algo Algorithm, q Query
 	st.res.Top = rank.TopN(st.acc, e.Idx.DocLen, e.Params.TopN)
 	st.res.Accumulators = len(st.acc)
 	st.res.Smax = st.smax
+	st.res.Elapsed = time.Since(start)
 	return st.res, nil
 }
 
@@ -355,6 +367,7 @@ func (e *Evaluator) thresholds(t postings.TermID, fqt int, smax float64) (fins, 
 // the pinned frame is always released first.
 func (e *Evaluator) processTerm(ctx context.Context, qt QueryTerm, estReads int, st *evalState) error {
 	tm := &e.Idx.Terms[qt.Term]
+	roundStart := time.Now()
 	fins, fadd := e.thresholds(qt.Term, qt.Fqt, st.smax)
 	tr := TermTrace{
 		Term:           qt.Term,
@@ -373,6 +386,7 @@ func (e *Evaluator) processTerm(ctx context.Context, qt QueryTerm, estReads int,
 	skip := float64(tm.FMax) <= fadd
 	if skip && !e.Params.ForceFirstPage {
 		tr.Skipped = true
+		tr.Elapsed = time.Since(roundStart)
 		st.res.Trace = append(st.res.Trace, tr)
 		return nil
 	}
@@ -394,6 +408,8 @@ scan:
 		tr.PagesProcessed++
 		if missed {
 			tr.PagesRead++
+		} else {
+			tr.PagesHit++
 		}
 		entries := frame.Data()
 		for _, entry := range entries {
@@ -427,6 +443,7 @@ scan:
 		e.Buf.Unpin(frame)
 	}
 
+	tr.Elapsed = time.Since(roundStart)
 	st.res.PagesRead += tr.PagesRead
 	st.res.PagesProcessed += tr.PagesProcessed
 	st.res.EntriesProcessed += tr.EntriesProcessed

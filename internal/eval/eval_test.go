@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"bufir/internal/buffer"
 	"bufir/internal/postings"
@@ -501,14 +502,28 @@ func TestTraceAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	var proc, entries, reads int
+	var roundTime time.Duration
 	for _, tr := range res.Trace {
 		proc += tr.PagesProcessed
 		entries += tr.EntriesProcessed
 		reads += tr.PagesRead
+		roundTime += tr.Elapsed
+		// Every touched page is exactly one of hit or miss.
+		if tr.PagesHit+tr.PagesRead != tr.PagesProcessed {
+			t.Errorf("term %q: hits %d + reads %d != processed %d",
+				tr.Name, tr.PagesHit, tr.PagesRead, tr.PagesProcessed)
+		}
 	}
 	if proc != res.PagesProcessed || entries != res.EntriesProcessed || reads != res.PagesRead {
 		t.Errorf("trace sums (%d,%d,%d) != result (%d,%d,%d)",
 			proc, entries, reads, res.PagesProcessed, res.EntriesProcessed, res.PagesRead)
+	}
+	// The query's wall time covers the term rounds plus ranking.
+	if res.Elapsed <= 0 {
+		t.Error("Result.Elapsed not stamped")
+	}
+	if roundTime > res.Elapsed {
+		t.Errorf("trace round times %v exceed total %v", roundTime, res.Elapsed)
 	}
 }
 

@@ -114,6 +114,35 @@ func TestMultiUserExperiment(t *testing.T) {
 	t.Logf("multiuser:\n%s", buf.String())
 }
 
+func TestObsExperiment(t *testing.T) {
+	env := newTinyEnv(t)
+	r, err := env.RunObs("127.0.0.1:0", 4, 2, 2, 0, 4, 0)
+	if err != nil {
+		t.Fatalf("obs: %v", err)
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	for _, v := range r.Verify {
+		if v.SerialReads != v.EngineReads {
+			t.Errorf("size %d: engine reads %d != serial %d with observation on", v.Size, v.EngineReads, v.SerialReads)
+		}
+	}
+	sv := r.Snap.Serving
+	if sv.Queries != int64(r.Queries) || sv.Completed != sv.Queries {
+		t.Errorf("counters: queries %d completed %d, submitted %d", sv.Queries, sv.Completed, r.Queries)
+	}
+	if sv.PagesRead != r.Snap.Buffer.Misses {
+		t.Errorf("PagesRead %d != buffer misses %d", sv.PagesRead, r.Snap.Buffer.Misses)
+	}
+	if !r.Scraped || r.ScrapedPagesRead != sv.PagesRead {
+		t.Errorf("self-scrape: scraped=%v pages_read %d, engine counter %d", r.Scraped, r.ScrapedPagesRead, sv.PagesRead)
+	}
+	if r.Snap.Service.Count != sv.Queries {
+		t.Errorf("service histogram count %d != queries %d", r.Snap.Service.Count, sv.Queries)
+	}
+	t.Logf("obs:\n%s", buf.String())
+}
+
 func TestAblations(t *testing.T) {
 	env := newTinyEnv(t)
 	ab, err := env.RunAblations()

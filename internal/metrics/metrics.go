@@ -45,14 +45,19 @@ func PrecisionAtK(ranked []rank.ScoredDoc, rel RelevanceSet, k int) float64 {
 }
 
 // Recall returns the fraction of all relevant documents that appear in
-// the ranked result. An empty relevance set yields 0.
+// the ranked result. An empty relevance set yields 0. Each relevant
+// document counts once even if the ranking lists it at several ranks
+// (merged partial results can produce duplicates), so recall never
+// exceeds 1.
 func Recall(ranked []rank.ScoredDoc, rel RelevanceSet) float64 {
 	if len(rel) == 0 {
 		return 0
 	}
+	seen := make(map[postings.DocID]bool, len(ranked))
 	hits := 0
 	for _, sd := range ranked {
-		if rel[sd.Doc] {
+		if rel[sd.Doc] && !seen[sd.Doc] {
+			seen[sd.Doc] = true
 			hits++
 		}
 	}
@@ -63,15 +68,20 @@ func Recall(ranked []rank.ScoredDoc, rel RelevanceSet) float64 {
 // a ranked result list against the relevance set: the mean, over all
 // relevant documents in the collection, of the precision at each
 // relevant document's rank (0 for relevant documents not retrieved).
-// This is the TREC measure the paper reports (footnote 10).
+// This is the TREC measure the paper reports (footnote 10). A relevant
+// document is credited only at its first (best) rank; later duplicate
+// occurrences neither add credit nor inflate the hit count, matching
+// trec_eval's treatment of duplicate-bearing runs.
 func AveragePrecision(ranked []rank.ScoredDoc, rel RelevanceSet) float64 {
 	if len(rel) == 0 {
 		return 0
 	}
+	seen := make(map[postings.DocID]bool, len(ranked))
 	sum := 0.0
 	hits := 0
 	for i, sd := range ranked {
-		if rel[sd.Doc] {
+		if rel[sd.Doc] && !seen[sd.Doc] {
+			seen[sd.Doc] = true
 			hits++
 			sum += float64(hits) / float64(i+1)
 		}

@@ -50,6 +50,36 @@ func TestRecall(t *testing.T) {
 	}
 }
 
+// TestRecallDuplicates: a ranking that lists the same relevant document
+// at several ranks (as merged partial results can) credits it once —
+// recall stays <= 1 and equals the deduplicated coverage.
+func TestRecallDuplicates(t *testing.T) {
+	rel := NewRelevanceSet([]postings.DocID{1, 3})
+	// Doc 1 appears three times; only one of two relevant docs is found.
+	if got := Recall(ranked(1, 1, 1, 2), rel); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Recall with duplicates = %g, want 0.5", got)
+	}
+	// Before the fix this returned 1.5.
+	if got := Recall(ranked(1, 1, 3), rel); got != 1 {
+		t.Errorf("Recall with duplicate hit = %g, want 1", got)
+	}
+	prop := func(order []uint8, relRaw []uint8) bool {
+		rs := make([]rank.ScoredDoc, len(order))
+		for i, d := range order {
+			rs[i] = rank.ScoredDoc{Doc: postings.DocID(d % 10)}
+		}
+		var relDocs []postings.DocID
+		for _, d := range relRaw {
+			relDocs = append(relDocs, postings.DocID(d%10))
+		}
+		r := Recall(rs, NewRelevanceSet(relDocs))
+		return r >= 0 && r <= 1+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestAveragePrecision(t *testing.T) {
 	rel := NewRelevanceSet([]postings.DocID{1, 3})
 	// Ranked: 1 (rel, P=1/1), 2, 3 (rel, P=2/3) -> AP = (1 + 2/3)/2
@@ -73,6 +103,39 @@ func TestAveragePrecision(t *testing.T) {
 	}
 	if got := AveragePrecision(ranked(1, 3), RelevanceSet{}); got != 0 {
 		t.Errorf("AP empty rel = %g", got)
+	}
+}
+
+// TestAveragePrecisionDuplicates: duplicate occurrences of a relevant
+// document earn credit only at the first rank; repeats neither add
+// precision terms nor inflate the running hit count.
+func TestAveragePrecisionDuplicates(t *testing.T) {
+	rel := NewRelevanceSet([]postings.DocID{1, 3})
+	// Ranked: 1 (rel, P=1/1), 1 (dup, skipped), 3 (rel, P=2/3).
+	got := AveragePrecision(ranked(1, 1, 3), rel)
+	want := (1.0 + 2.0/3) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("AP with duplicate = %g, want %g", got, want)
+	}
+	// All-duplicate ranking of one relevant doc: same AP as listing it
+	// once. Before the fix the dup inflated hits, pushing AP above 1.
+	if got := AveragePrecision(ranked(1, 1, 1), NewRelevanceSet([]postings.DocID{1})); got != 1 {
+		t.Errorf("AP all-duplicates = %g, want 1", got)
+	}
+	prop := func(order []uint8, relRaw []uint8) bool {
+		rs := make([]rank.ScoredDoc, len(order))
+		for i, d := range order {
+			rs[i] = rank.ScoredDoc{Doc: postings.DocID(d % 10)}
+		}
+		var relDocs []postings.DocID
+		for _, d := range relRaw {
+			relDocs = append(relDocs, postings.DocID(d%10))
+		}
+		ap := AveragePrecision(rs, NewRelevanceSet(relDocs))
+		return ap >= 0 && ap <= 1+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
 	}
 }
 

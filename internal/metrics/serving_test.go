@@ -1,0 +1,35 @@
+package metrics
+
+import "testing"
+
+// TestServiceMeans: MeanServiceMicros averages over all executed
+// requests (truncated ones included); MeanCompletedServiceMicros over
+// completed ones only — so a cheap timed-out request drags the former
+// down but leaves the latter untouched.
+func TestServiceMeans(t *testing.T) {
+	var c ServingCounters
+	// Two completed requests at 2ms each, one timeout cut off at 0.5ms.
+	c.Queries.Add(3)
+	c.Completed.Add(2)
+	c.Timeouts.Add(1)
+	c.ServiceNanos.Add(2_000_000 + 2_000_000 + 500_000)
+	c.CompletedServiceNanos.Add(2_000_000 + 2_000_000)
+
+	s := c.Snapshot()
+	if got, want := s.MeanServiceMicros(), 4500.0/3; got != want {
+		t.Errorf("MeanServiceMicros = %g, want %g", got, want)
+	}
+	if got, want := s.MeanCompletedServiceMicros(), 2000.0; got != want {
+		t.Errorf("MeanCompletedServiceMicros = %g, want %g", got, want)
+	}
+	if s.Queries != s.Completed+s.Timeouts+s.Canceled+s.Errors {
+		t.Errorf("outcome buckets don't partition Queries: %+v", s)
+	}
+}
+
+func TestServiceMeansEmpty(t *testing.T) {
+	var s ServingSnapshot
+	if s.MeanServiceMicros() != 0 || s.MeanCompletedServiceMicros() != 0 {
+		t.Error("empty snapshot means must be 0")
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import "bufir/internal/metrics"
+
+// Snapshot is a point-in-time view of everything the serving stack
+// exposes: the atomic serving counters, live engine gauges, the
+// queue-wait and service-time distributions, and the buffer pool's
+// occupancy. It is plain data — JSON-serializable for /statusz,
+// renderable as Prometheus text by internal/obshttp — and cheap to
+// assemble (a handful of atomic loads plus one pass over the pool's
+// shard latches).
+type Snapshot struct {
+	// Serving is the engine's outcome and cost counter set.
+	Serving metrics.ServingSnapshot
+	// Engine holds the live engine gauges.
+	Engine EngineGauges
+	// QueueWait is the distribution of submit-to-execution wait times
+	// (admission queue plus same-user ordering), one observation per
+	// executed request.
+	QueueWait HistogramSnapshot
+	// Service is the distribution of service times (execution start to
+	// completion), one observation per executed request — including
+	// timed-out and canceled requests, whose service time is truncated
+	// by the cutoff; see metrics.ServingSnapshot.MeanServiceMicros for
+	// the same caveat on the mean.
+	Service HistogramSnapshot
+	// Buffer is the shared buffer pool's live state.
+	Buffer BufferSnapshot
+}
+
+// EngineGauges are the engine's live (instantaneous) gauges, as
+// opposed to the monotone counters in metrics.ServingCounters.
+type EngineGauges struct {
+	// Workers is the configured worker-goroutine count.
+	Workers int
+	// QueueDepth is the number of accepted requests waiting in the
+	// admission queue (submitted, not yet picked up by a worker).
+	QueueDepth int64
+	// InFlight is the number of requests currently held by workers —
+	// executing, or parked on a same-user predecessor.
+	InFlight int64
+}
+
+// BufferSnapshot is the buffer pool's live state: occupancy gauges
+// plus the hit/miss/eviction counters, labeled with the replacement
+// policy that produced them.
+type BufferSnapshot struct {
+	// Policy is the replacement policy name ("LRU", "MRU", "RAP").
+	Policy string
+	// Capacity is the pool size in pages; InUse the occupied frames;
+	// Pinned the frames currently held by at least one evaluation.
+	Capacity int
+	InUse    int
+	Pinned   int
+	// Hits, Misses and Evictions are the pool's monotone counters
+	// (Misses is the disk-read count the paper's cost metric is built
+	// on).
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// ShardOccupancy is the per-latch-domain frame count; length 1 for
+	// the single-latch pool. Skew across shards is the first thing to
+	// look at when a sharded pool underperforms its capacity.
+	ShardOccupancy []int
+}
+
+// Source provides observability snapshots; *engine.Engine implements
+// it. The HTTP endpoint renders whatever Source it is given, keeping
+// the server decoupled from the engine's concrete type.
+type Source interface {
+	ObsSnapshot() Snapshot
+}

@@ -1,0 +1,106 @@
+// Package obshttp implements the optional HTTP observability endpoint:
+// Prometheus-text /metrics, JSON /statusz, and net/http/pprof under
+// /debug/pprof/. Importing this package (directly, or through the
+// public bufir/obshttp wrapper) registers the implementation with
+// internal/obs, which is what lets Engine start an endpoint from a
+// plain Obs.Addr option without the core library depending on
+// net/http.
+//
+// Security note: the endpoint is off by default (no listener without
+// an explicit Addr) and carries no authentication — it exposes latency
+// distributions, counters and full pprof (heap contents included).
+// Bind it to localhost or a private interface; never a public one.
+// All handlers are mounted on a private mux, so enabling it never
+// touches http.DefaultServeMux (net/http/pprof's init does register
+// there, which is exactly why this package stays out of the default
+// build graph — see `make depgraph`).
+package obshttp
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"bufir/internal/obs"
+)
+
+func init() {
+	obs.RegisterHTTPServer(func(addr string, src obs.Source) (obs.HTTPServer, error) {
+		return New(addr, src)
+	})
+}
+
+// Server is a running observability endpoint over one obs.Source.
+type Server struct {
+	ln        net.Listener
+	srv       *http.Server
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New binds addr (":0" picks a free port) and starts serving src's
+// snapshots. The caller owns the returned Server and must Close it.
+func New(addr string, src obs.Source) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           Handler(src),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() {
+		// ErrServerClosed (or a listener error after Close) is the
+		// normal exit; the endpoint is best-effort by design and must
+		// never take the serving engine down with it.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers. Idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.srv.Close() })
+	return s.closeErr
+}
+
+// Handler returns the endpoint's route table on a private mux:
+//
+//	/metrics      Prometheus text format
+//	/statusz      the full obs.Snapshot as JSON
+//	/healthz      200 "ok" (liveness)
+//	/debug/pprof/ the standard pprof index and profiles
+//
+// Exposed so tests (and embedders with their own server) can mount it
+// without a listener.
+func Handler(src obs.Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, src.ObsSnapshot())
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(src.ObsSnapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

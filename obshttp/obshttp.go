@@ -1,0 +1,31 @@
+// Package obshttp enables bufir's optional HTTP observability
+// endpoint. Importing it — a blank import is enough — links the
+// net/http implementation and registers it with the core library:
+//
+//	import (
+//		"bufir"
+//		_ "bufir/obshttp"
+//	)
+//
+//	eng, err := ix.NewEngine(bufir.EngineConfig{
+//		Obs: bufir.ObsOptions{Addr: "127.0.0.1:9090"},
+//	})
+//	// curl localhost:9090/metrics  -> Prometheus text format
+//	// curl localhost:9090/statusz  -> full snapshot as JSON
+//	// go tool pprof localhost:9090/debug/pprof/heap
+//
+// Without this import, setting ObsOptions.Addr makes NewEngine fail
+// with bufir.ErrObsUnavailable, and — the point of the split — binaries
+// that don't import it carry no net/http (or net/http/pprof) in their
+// dependency graph at all. `make depgraph` enforces that.
+//
+// The endpoint has no authentication and exposes pprof: bind it to
+// localhost or a private interface only.
+package obshttp
+
+import (
+	// The internal package's init registers the server factory with
+	// internal/obs; this public wrapper exists so user code outside the
+	// module can trigger it.
+	_ "bufir/internal/obshttp"
+)

@@ -15,9 +15,9 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 STATICCHECK := $(shell $(GO) env GOPATH)/bin/staticcheck
 
-.PHONY: ci lint depgraph vet build test race leaks fuzz-seeds fuzz bench concurrency obs
+.PHONY: ci lint depgraph vet build test race leaks fuzz-seeds fuzz bench concurrency obs faults chaos
 
-ci: lint depgraph build test race leaks fuzz-seeds
+ci: lint depgraph build test race leaks fuzz-seeds faults-smoke
 
 lint:
 	@if [ -x "$(STATICCHECK)" ] || $(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) 2>/dev/null; then \
@@ -66,12 +66,23 @@ leaks:
 # Replays the checked-in seed corpora (testdata/fuzz/**) plus the f.Add
 # seeds through every fuzz target, without engaging the fuzzing engine.
 fuzz-seeds:
-	$(GO) test -run=Fuzz ./internal/codec ./internal/textproc
+	$(GO) test -run=Fuzz ./internal/codec ./internal/textproc ./internal/storage
 
-# Short exploratory fuzzing of both targets (not part of ci; minutes).
+# Short exploratory fuzzing of every target (not part of ci; minutes).
 fuzz:
 	$(GO) test -fuzz=FuzzCodecRoundTrip -fuzztime=60s ./internal/codec
 	$(GO) test -fuzz=FuzzTokenize -fuzztime=60s ./internal/textproc
+	$(GO) test -fuzz=FuzzParseFaultSchedule -fuzztime=60s ./internal/storage
+
+# Fault smoke gate: the seeded-fault regression tests of every layer —
+# loader retry/backoff, waiter re-attempt, residency-at-failure, victim
+# backpressure, serial/sharded error parity, the eval fault budget, and
+# the engine chaos invariants — under -race.
+.PHONY: faults-smoke
+faults-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestLoaderRetries|TestRetryBudget|TestPermanentFault|TestWaiterReattempts|TestFailedLoadDrops|TestVictimWait|TestSerialShardedFaultParity|TestChaos|TestFaultBudget|TestFault' \
+		./internal/buffer ./internal/eval ./internal/engine ./internal/storage .
 
 bench:
 	$(GO) test -run=xxx -bench=. -benchtime=1x .
@@ -86,3 +97,14 @@ concurrency:
 # can be curl'ed from another terminal.
 obs:
 	$(GO) run ./cmd/irbench -exp obs -obshold 30s
+
+# The fault-rate sweep (E23): completed/degraded/error mix and
+# overlap@20 vs the fault-free reference.
+faults:
+	$(GO) run ./cmd/irbench -exp faults
+
+# Long randomized chaos run (not part of ci; minutes): the engine- and
+# buffer-level chaos tests looped under -race with fresh schedules.
+chaos:
+	$(GO) test -race -count=20 -run 'TestChaosServingInvariants|TestChaosCounterInvariants' \
+		./internal/engine ./internal/buffer

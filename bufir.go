@@ -310,6 +310,53 @@ func (ix *Index) DiskReads() int64 { return ix.store.Reads() }
 // ResetDiskReads zeroes the disk-read counter.
 func (ix *Index) ResetDiskReads() { ix.store.ResetReads() }
 
+// FaultStats counts the faults an InjectFaults schedule actually
+// injected, by kind.
+type FaultStats = storage.FaultStats
+
+// InjectFaults wraps the index's simulated disk in a deterministic
+// fault-injection layer: every subsequent counted page read is subject
+// to the schedule. The schedule is a ';'-separated list of rules, each
+// `kind[:opt,...]` with kind one of transient, permanent, latency and
+// options pages=N|A-B|N- (page range; default all), prob=F (fault
+// probability per read), every=N / first=N (fault by per-page read
+// ordinal), and spike=DUR (latency rules only). The seed fixes every
+// probabilistic decision, so a given (schedule, seed) faults the same
+// (page, read-ordinal) pairs on every run — chaos experiments are
+// reproducible regardless of goroutine interleaving.
+//
+//	ix.InjectFaults("transient:prob=0.01", 42)        // 1% flaky reads
+//	ix.InjectFaults("permanent:pages=7", 1)           // page 7 is dead
+//	ix.InjectFaults("latency:prob=0.05,spike=5ms", 7) // slow 5% of reads
+//
+// Call before creating sessions, engines or pools — they capture the
+// store at construction and keep reading the unwrapped disk otherwise.
+// Pair with FaultToleranceOptions (retry/backoff) and
+// EvalOptions.FaultBudget (degrade instead of error) to ride the
+// faults out.
+func (ix *Index) InjectFaults(schedule string, seed uint64) error {
+	rules, err := storage.ParseFaultSchedule(schedule)
+	if err != nil {
+		return err
+	}
+	fs, err := storage.NewFaultStore(ix.store, seed, rules)
+	if err != nil {
+		return err
+	}
+	ix.store = fs
+	return nil
+}
+
+// FaultStats reports how many faults the InjectFaults layer has
+// injected so far, by kind (zero value when InjectFaults was never
+// called).
+func (ix *Index) FaultStats() FaultStats {
+	if fs, ok := ix.store.(*storage.FaultStore); ok {
+		return fs.FaultStats()
+	}
+	return FaultStats{}
+}
+
 // LookupTerm resolves a term string (already stemmed for generated
 // collections; raw terms are resolved through the pipeline for
 // document-built indexes).

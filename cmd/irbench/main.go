@@ -11,8 +11,9 @@
 // -exp is a comma-separated subset of:
 //
 //	fig3 fig4 table4 table5 table12 table6 fig5 fig6 table7 fig7 fig8
-//	multiuser concurrency lifecycle obs ablations baselines compression
-//	feedback docsorted weblegend boolean dualbuf summary effect
+//	multiuser concurrency lifecycle faults obs ablations baselines
+//	compression feedback docsorted weblegend boolean dualbuf summary
+//	effect
 //
 // (fig56/fig78 are aliases for the figure pairs; default "all").
 // concurrency sweeps -workers over the E12 workload with -cusers
@@ -22,7 +23,11 @@
 // (QueryTimeout with OnDeadline=Partial and a bounded admission
 // queue) across the untimed service-time distribution, reporting
 // shed/timeout/partial counters and the deadline-vs-overlap@20
-// tradeoff. obs runs the same workload on an engine with the HTTP
+// tradeoff. faults reuses -cusers/-cshards to sweep a seeded
+// transient-fault rate (-faultseed) over the same workload with the
+// retry loop and per-query fault budget on, reporting the
+// completed/degraded/error mix, retries spent, and overlap@20 against
+// the fault-free pass. obs runs the same workload on an engine with the HTTP
 // observability endpoint live on -obsaddr, prints the histogram/gauge
 // report, and verifies the /metrics self-scrape against the engine's
 // counters; -obshold keeps the endpoint up after the run so it can be
@@ -47,21 +52,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("irbench: ")
 	var (
-		scale   = flag.String("scale", "default", "collection scale: tiny, default, or paper")
-		seed    = flag.Int64("seed", 1998, "generator seed")
-		exps    = flag.String("exp", "all", "comma-separated experiments to run")
-		topics  = flag.Int("topics", 0, "topics for summary/effect experiments (0 = all)")
-		points  = flag.Int("points", 10, "buffer-size sweep points")
-		outPath = flag.String("out", "", "write output to file instead of stdout")
-		cadd    = flag.Float64("cadd", 0, "override c_add filtering constant (0 = collection-tuned default)")
-		cins    = flag.Float64("cins", 0, "override c_ins filtering constant (0 = collection-tuned default)")
-		csvDir  = flag.String("csv", "", "also write each experiment's data series as CSV into this directory")
-		workers = flag.String("workers", "1,2,4,8", "worker counts swept by the concurrency experiment")
-		cusers  = flag.Int("cusers", 16, "concurrent sessions in the concurrency experiment")
-		cshards = flag.Int("cshards", 8, "buffer-pool latch shards in the concurrency experiment")
-		disklat = flag.Duration("disklat", 200*time.Microsecond, "simulated disk read latency for the concurrency experiment")
-		obsaddr = flag.String("obsaddr", "127.0.0.1:0", "listen address of the obs experiment's metrics endpoint")
-		obshold = flag.Duration("obshold", 0, "keep the obs experiment's endpoint up this long after the run")
+		scale     = flag.String("scale", "default", "collection scale: tiny, default, or paper")
+		seed      = flag.Int64("seed", 1998, "generator seed")
+		exps      = flag.String("exp", "all", "comma-separated experiments to run")
+		topics    = flag.Int("topics", 0, "topics for summary/effect experiments (0 = all)")
+		points    = flag.Int("points", 10, "buffer-size sweep points")
+		outPath   = flag.String("out", "", "write output to file instead of stdout")
+		cadd      = flag.Float64("cadd", 0, "override c_add filtering constant (0 = collection-tuned default)")
+		cins      = flag.Float64("cins", 0, "override c_ins filtering constant (0 = collection-tuned default)")
+		csvDir    = flag.String("csv", "", "also write each experiment's data series as CSV into this directory")
+		workers   = flag.String("workers", "1,2,4,8", "worker counts swept by the concurrency experiment")
+		cusers    = flag.Int("cusers", 16, "concurrent sessions in the concurrency experiment")
+		cshards   = flag.Int("cshards", 8, "buffer-pool latch shards in the concurrency experiment")
+		disklat   = flag.Duration("disklat", 200*time.Microsecond, "simulated disk read latency for the concurrency experiment")
+		obsaddr   = flag.String("obsaddr", "127.0.0.1:0", "listen address of the obs experiment's metrics endpoint")
+		obshold   = flag.Duration("obshold", 0, "keep the obs experiment's endpoint up this long after the run")
+		faultseed = flag.Int64("faultseed", 1998, "seed of the faults experiment's fault schedule")
 	)
 	flag.Parse()
 
@@ -175,6 +181,9 @@ func main() {
 	})
 	run("lifecycle", func() (formatter, error) {
 		return env.RunLifecycle(*cusers, 4, *cshards, *disklat)
+	})
+	run("faults", func() (formatter, error) {
+		return env.RunFaults(*cusers, 4, *cshards, uint64(*faultseed))
 	})
 	run("obs", func() (formatter, error) {
 		return env.RunObs(*obsaddr, *cusers, 4, *cshards, *disklat, *points, *obshold)

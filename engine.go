@@ -60,6 +60,33 @@ type EngineConfig struct {
 	// Obs configures the optional observability endpoint. Zero value:
 	// no listener, no overhead beyond the always-on atomic counters.
 	Obs ObsOptions
+	// Fault configures the fault-tolerant I/O path of the shared pool.
+	// Zero value: loads fail on the first error and a fully-pinned pool
+	// fails fast — the historical semantics, at zero cost.
+	Fault FaultToleranceOptions
+}
+
+// FaultToleranceOptions configures how the engine's buffer pool rides
+// out I/O trouble. All knobs default to off; turning them on costs
+// nothing until a load actually fails or a pool actually fills with
+// pins. Pair with EvalOptions.FaultBudget to convert permanent page
+// faults into degraded (rather than failed) queries.
+type FaultToleranceOptions struct {
+	// Retries is how many times a failed page load is re-attempted by
+	// the loading session (with exponential backoff) before the error
+	// surfaces. Context errors and permanent faults are never retried.
+	Retries int
+	// RetryBackoff is the wait before the first retry, doubling per
+	// attempt (default 500µs when Retries > 0).
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential growth (default
+	// 100×RetryBackoff).
+	RetryBackoffMax time.Duration
+	// VictimWait bounds how long a fetch waits for an evictable frame
+	// when every frame of its shard is pinned, instead of failing
+	// immediately: momentary full-pin under load is backpressure, not
+	// an error. 0 keeps the fail-fast behavior.
+	VictimWait time.Duration
 }
 
 // ObsOptions configures the engine's optional HTTP observability
@@ -161,6 +188,18 @@ func (ix *Index) NewEngine(cfg EngineConfig) (*Engine, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	ft := cfg.Fault
+	if ft != (FaultToleranceOptions{}) {
+		// Installed after engine.New so the OnRetry hook can feed the
+		// serving counters, but before any request can run.
+		pool.SetRetryPolicy(buffer.RetryPolicy{
+			MaxRetries: ft.Retries,
+			Backoff:    ft.RetryBackoff,
+			BackoffMax: ft.RetryBackoffMax,
+			VictimWait: ft.VictimWait,
+			OnRetry:    inner.RecordRetry,
+		})
 	}
 	e := &Engine{inner: inner, pool: pool}
 	if cfg.Obs.Addr != "" {

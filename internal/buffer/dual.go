@@ -101,6 +101,13 @@ func (d *DualPool) Flush() {
 	d.long.Flush()
 }
 
+// SetRetryPolicy installs the fault-tolerance policy on both
+// partitions (see RetryPolicy). Setup time only.
+func (d *DualPool) SetRetryPolicy(rp RetryPolicy) {
+	d.short.SetRetryPolicy(rp)
+	d.long.SetRetryPolicy(rp)
+}
+
 // PartitionStats returns (short, long) counters for analysis.
 func (d *DualPool) PartitionStats() (Stats, Stats) {
 	return d.short.Stats(), d.long.Stats()

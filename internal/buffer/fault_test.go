@@ -1,0 +1,558 @@
+package buffer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bufir/internal/postings"
+	"bufir/internal/storage"
+)
+
+// flakyStore wraps a store with a per-page count of forced failures:
+// the first fail[p] counted reads of page p error, later reads succeed.
+// attempts counts every read issued, delivered or not.
+type flakyStore struct {
+	inner *storage.Store
+	perm  bool // make injected errors permanent-classified
+
+	mu       sync.Mutex
+	fail     map[postings.PageID]int
+	attempts int
+}
+
+type permErr struct{}
+
+func (permErr) Error() string        { return "flaky: permanent media loss" }
+func (permErr) PermanentFault() bool { return true }
+
+var errFlaky = errors.New("flaky: transient read error")
+
+func (s *flakyStore) Read(id postings.PageID) ([]postings.Entry, error) {
+	return s.ReadContext(context.Background(), id)
+}
+
+func (s *flakyStore) ReadContext(ctx context.Context, id postings.PageID) ([]postings.Entry, error) {
+	s.mu.Lock()
+	s.attempts++
+	n := s.fail[id]
+	if n > 0 {
+		s.fail[id] = n - 1
+	}
+	s.mu.Unlock()
+	if n > 0 {
+		if s.perm {
+			return nil, permErr{}
+		}
+		return nil, errFlaky
+	}
+	return s.inner.ReadContext(ctx, id)
+}
+
+func (s *flakyStore) readAttempts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attempts
+}
+
+// gatedStore hands the test full control of one in-flight read: the
+// read announces itself on started, then blocks until the test sends
+// its outcome on release (nil = delegate to the real store).
+type gatedStore struct {
+	inner   *storage.Store
+	started chan postings.PageID
+	release chan error
+}
+
+func newGatedStore(inner *storage.Store) *gatedStore {
+	return &gatedStore{inner: inner, started: make(chan postings.PageID), release: make(chan error)}
+}
+
+func (s *gatedStore) Read(id postings.PageID) ([]postings.Entry, error) {
+	return s.ReadContext(context.Background(), id)
+}
+
+func (s *gatedStore) ReadContext(ctx context.Context, id postings.PageID) ([]postings.Entry, error) {
+	s.started <- id
+	if err := <-s.release; err != nil {
+		return nil, err
+	}
+	return s.inner.ReadContext(ctx, id)
+}
+
+// quickRetry returns a retry policy with negligible real backoff.
+func quickRetry(max int, onRetry func(time.Duration)) RetryPolicy {
+	return RetryPolicy{MaxRetries: max, Backoff: time.Microsecond, OnRetry: onRetry}
+}
+
+func TestLoaderRetriesTransientFaults(t *testing.T) {
+	for _, serial := range []bool{true, false} {
+		name := "sharded"
+		if serial {
+			name = "manager"
+		}
+		t.Run(name, func(t *testing.T) {
+			ix, st := testEnv(t)
+			fs := &flakyStore{inner: st, fail: map[postings.PageID]int{0: 2}}
+			var retries atomic.Int64
+			var pool PoolManager
+			if serial {
+				m, err := NewManager(4, fs, ix, NewLRU())
+				if err != nil {
+					t.Fatal(err)
+				}
+				pool = m
+			} else {
+				m, err := NewShardedManager(4, 1, fs, ix, func() Policy { return NewLRU() })
+				if err != nil {
+					t.Fatal(err)
+				}
+				pool = m
+			}
+			pool.SetRetryPolicy(quickRetry(3, func(time.Duration) { retries.Add(1) }))
+			f, missed, err := pool.Fetch(0)
+			if err != nil {
+				t.Fatalf("Fetch after retries: %v", err)
+			}
+			if !missed || len(f.Data()) == 0 {
+				t.Errorf("missed=%v data=%d entries, want a loaded miss", missed, len(f.Data()))
+			}
+			pool.Unpin(f)
+			if got := fs.readAttempts(); got != 3 {
+				t.Errorf("store attempts = %d, want 3 (2 failures + 1 success)", got)
+			}
+			if got := retries.Load(); got != 2 {
+				t.Errorf("OnRetry calls = %d, want 2", got)
+			}
+			s := pool.Stats()
+			if s.Misses != 1 || s.Hits != 0 {
+				t.Errorf("stats = %+v, want exactly 1 miss (retries are not extra misses)", s)
+			}
+			if st.Reads() != 1 {
+				t.Errorf("successful store reads = %d, want 1", st.Reads())
+			}
+		})
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	for _, serial := range []bool{true, false} {
+		name := map[bool]string{true: "manager", false: "sharded"}[serial]
+		t.Run(name, func(t *testing.T) {
+			ix, st := testEnv(t)
+			fs := &flakyStore{inner: st, fail: map[postings.PageID]int{0: 100}}
+			var pool PoolManager
+			if serial {
+				pool, _ = NewManager(4, fs, ix, NewLRU())
+			} else {
+				pool, _ = NewShardedManager(4, 1, fs, ix, func() Policy { return NewLRU() })
+			}
+			pool.SetRetryPolicy(quickRetry(2, nil))
+			if _, _, err := pool.Fetch(0); !errors.Is(err, errFlaky) {
+				t.Fatalf("err = %v, want the store's error after budget exhaustion", err)
+			}
+			if got := fs.readAttempts(); got != 3 {
+				t.Errorf("attempts = %d, want 3 (initial + 2 retries)", got)
+			}
+			// The failed load must leave no residue, as if never tried.
+			if pool.InUse() != 0 || pool.ResidentPages(0) != 0 || pool.Stats().Misses != 0 {
+				t.Errorf("residue after failed load: inuse=%d resident=%d stats=%+v",
+					pool.InUse(), pool.ResidentPages(0), pool.Stats())
+			}
+		})
+	}
+}
+
+func TestPermanentFaultNotRetried(t *testing.T) {
+	ix, st := testEnv(t)
+	fs := &flakyStore{inner: st, perm: true, fail: map[postings.PageID]int{0: 100}}
+	m, _ := NewShardedManager(4, 1, fs, ix, func() Policy { return NewLRU() })
+	var retries atomic.Int64
+	m.SetRetryPolicy(quickRetry(5, func(time.Duration) { retries.Add(1) }))
+	_, _, err := m.Fetch(0)
+	var pf interface{ PermanentFault() bool }
+	if !errors.As(err, &pf) {
+		t.Fatalf("err = %v, want the permanent fault", err)
+	}
+	if fs.readAttempts() != 1 || retries.Load() != 0 {
+		t.Errorf("attempts=%d retries=%d, want 1/0: permanent faults must not be retried",
+			fs.readAttempts(), retries.Load())
+	}
+}
+
+// TestWaiterReattemptsFailedLoad is the regression test for the
+// single-flight error-isolation bug: a waiter parked on another
+// session's failed load used to inherit that session's I/O error
+// verbatim. It must instead re-attempt the fetch under its own context
+// — here becoming the new loader and succeeding.
+func TestWaiterReattemptsFailedLoad(t *testing.T) {
+	ix, st := testEnv(t)
+	gs := newGatedStore(st)
+	m, _ := NewShardedManager(4, 1, gs, ix, func() Policy { return NewLRU() })
+
+	loaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := m.FetchContext(context.Background(), 0)
+		loaderErr <- err
+	}()
+	<-gs.started // loader's read is in flight
+
+	waiterDone := make(chan error, 1)
+	go func() {
+		f, missed, err := m.FetchContext(context.Background(), 0)
+		if err == nil {
+			if !missed {
+				err = errors.New("waiter should have become the loader (missed=false)")
+			} else if len(f.Data()) == 0 {
+				err = errors.New("waiter got an empty frame")
+			}
+			if f != nil {
+				m.Unpin(f)
+			}
+		}
+		waiterDone <- err
+	}()
+	// Wait until the waiter has parked on the frame (pin count 2).
+	waitPin(t, m, 0, 2)
+
+	gs.release <- errFlaky // the loader's read fails
+	if err := <-loaderErr; !errors.Is(err, errFlaky) {
+		t.Fatalf("loader err = %v, want its own I/O error", err)
+	}
+	// The waiter must now re-attempt: a second read arrives; let it
+	// succeed.
+	select {
+	case <-gs.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never re-attempted the fetch after the loader's failure")
+	}
+	gs.release <- nil
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter err = %v, want success via its own re-attempt", err)
+	}
+	s := m.Stats()
+	if s.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (the failed load was undone, the waiter's succeeded)", s.Misses)
+	}
+}
+
+// waitPin polls until page id's frame has the wanted pin count.
+func waitPin(t *testing.T, m *ShardedManager, id postings.PageID, want int) {
+	t.Helper()
+	sh := m.shardOf(id)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sh.mu.Lock()
+		f := sh.frames[id]
+		pin := 0
+		if f != nil {
+			pin = f.pin
+		}
+		sh.mu.Unlock()
+		if pin == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pin of page %d never reached %d (now %d)", id, want, pin)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestFailedLoadDropsResidency is the regression test for the BAF b_t
+// accounting bug: a poisoned frame kept alive by a waiter's pin used to
+// keep counting in resident[term], making BAF see a data-less page as
+// buffer-resident. Residency must drop when the load fails, and must
+// not drop again when the last pin finally withdraws the frame.
+func TestFailedLoadDropsResidency(t *testing.T) {
+	ix, st := testEnv(t)
+	gs := newGatedStore(st)
+	m, _ := NewShardedManager(4, 1, gs, ix, func() Policy { return NewLRU() })
+
+	loaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := m.FetchContext(context.Background(), 0)
+		loaderErr <- err
+	}()
+	<-gs.started
+
+	// Simulate a parked waiter deterministically: an extra pin taken
+	// under the latch, exactly what fetchOnce's waiter path holds while
+	// parked on f.loading.
+	sh := m.shardOf(0)
+	sh.mu.Lock()
+	f := sh.frames[0]
+	if f == nil {
+		sh.mu.Unlock()
+		t.Fatal("no frame reserved for the in-flight load")
+	}
+	f.pin++
+	sh.mu.Unlock()
+
+	gs.release <- errFlaky
+	if err := <-loaderErr; err == nil {
+		t.Fatal("loader should have failed")
+	}
+
+	// The poisoned frame is still occupied (waiter pin) but must no
+	// longer count as resident: b_t sees data, not corpses.
+	if got := m.ResidentPages(0); got != 0 {
+		t.Errorf("ResidentPages = %d with a poisoned frame alive, want 0", got)
+	}
+	if m.InUse() != 1 {
+		t.Errorf("InUse = %d, want 1 (frame kept alive by the waiter pin)", m.InUse())
+	}
+
+	// Last pin drops: frame withdrawn, and residency must not go
+	// negative (the double-decrement the nonResident flag prevents).
+	m.releaseWaiter(sh, f)
+	if m.InUse() != 0 {
+		t.Errorf("InUse = %d after last pin dropped, want 0", m.InUse())
+	}
+	if got := m.ResidentPages(0); got != 0 {
+		t.Errorf("ResidentPages = %d after removal, want 0 (double decrement?)", got)
+	}
+}
+
+func TestVictimWaitBackpressure(t *testing.T) {
+	for _, serial := range []bool{true, false} {
+		name := map[bool]string{true: "manager", false: "sharded"}[serial]
+		t.Run(name, func(t *testing.T) {
+			ix, st := testEnv(t)
+			var pool PoolManager
+			if serial {
+				pool, _ = NewManager(1, st, ix, NewLRU())
+			} else {
+				pool, _ = NewShardedManager(1, 1, st, ix, func() Policy { return NewLRU() })
+			}
+			pool.SetRetryPolicy(RetryPolicy{VictimWait: 5 * time.Second})
+
+			f0, _, err := pool.Fetch(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan error, 1)
+			go func() {
+				f1, _, err := pool.Fetch(4) // different term, pool full & pinned
+				if err == nil {
+					pool.Unpin(f1)
+				}
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				t.Fatalf("fetch returned %v immediately, want it to wait for a pin drop", err)
+			case <-time.After(20 * time.Millisecond):
+			}
+			pool.Unpin(f0)
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("backpressured fetch failed: %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("backpressured fetch never woke after the pin dropped")
+			}
+		})
+	}
+}
+
+func TestVictimWaitTimesOut(t *testing.T) {
+	for _, serial := range []bool{true, false} {
+		name := map[bool]string{true: "manager", false: "sharded"}[serial]
+		t.Run(name, func(t *testing.T) {
+			ix, st := testEnv(t)
+			var pool PoolManager
+			if serial {
+				pool, _ = NewManager(1, st, ix, NewLRU())
+			} else {
+				pool, _ = NewShardedManager(1, 1, st, ix, func() Policy { return NewLRU() })
+			}
+			pool.SetRetryPolicy(RetryPolicy{VictimWait: 50 * time.Millisecond})
+			f0, _, err := pool.Fetch(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pool.Unpin(f0)
+			start := time.Now()
+			_, _, err = pool.Fetch(4)
+			if !errors.Is(err, ErrNoVictim) {
+				t.Fatalf("err = %v, want ErrNoVictim after the bounded wait", err)
+			}
+			if d := time.Since(start); d < 50*time.Millisecond {
+				t.Errorf("gave up after %v, want >= VictimWait", d)
+			}
+		})
+	}
+}
+
+func TestVictimWaitHonorsContext(t *testing.T) {
+	ix, st := testEnv(t)
+	m, _ := NewShardedManager(1, 1, st, ix, func() Policy { return NewLRU() })
+	m.SetRetryPolicy(RetryPolicy{VictimWait: time.Hour})
+	f0, _, err := m.Fetch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Unpin(f0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, _, err = m.FetchContext(ctx, 4); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestSerialShardedFaultParity is the E12-on-error-paths audit: a
+// Manager and a 1-shard ShardedManager driven through the identical
+// access sequence over the identical seeded fault schedule must agree
+// on every outcome and every counter — the single-shard bit-for-bit
+// equivalence claim extended to failing reads.
+func TestSerialShardedFaultParity(t *testing.T) {
+	rules, err := storage.ParseFaultSchedule("transient:prob=0.3;permanent:pages=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := make([]postings.PageID, 0, 60)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 60; i++ {
+		seq = append(seq, postings.PageID(rng.Intn(7)))
+	}
+
+	type step struct {
+		missed bool
+		errStr string
+	}
+	runPool := func(mk func(store PageReader, ix *postings.Index) PoolManager) ([]step, Stats, []int, int, int64) {
+		ix, st := testEnv(t)
+		fs, err := storage.NewFaultStore(st, 99, rules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := mk(fs, ix)
+		pool.SetRetryPolicy(quickRetry(1, nil))
+		steps := make([]step, 0, len(seq))
+		for _, p := range seq {
+			f, missed, err := pool.Fetch(p)
+			s := step{missed: missed}
+			if err != nil {
+				s.errStr = err.Error()
+			} else {
+				pool.Unpin(f)
+			}
+			steps = append(steps, s)
+		}
+		res := make([]int, len(ix.Terms))
+		for tm := range res {
+			res[tm] = pool.ResidentPages(postings.TermID(tm))
+		}
+		return steps, pool.Stats(), res, pool.InUse(), st.Reads()
+	}
+
+	aSteps, aStats, aRes, aUse, aReads := runPool(func(store PageReader, ix *postings.Index) PoolManager {
+		m, err := NewManager(3, store, ix, NewLRU())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	})
+	bSteps, bStats, bRes, bUse, bReads := runPool(func(store PageReader, ix *postings.Index) PoolManager {
+		m, err := NewShardedManager(3, 1, store, ix, func() Policy { return NewLRU() })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	})
+
+	for i := range aSteps {
+		if aSteps[i] != bSteps[i] {
+			t.Errorf("step %d (page %d): manager %+v, sharded %+v", i, seq[i], aSteps[i], bSteps[i])
+		}
+	}
+	if aStats != bStats {
+		t.Errorf("stats diverge: manager %+v, sharded %+v", aStats, bStats)
+	}
+	if fmt.Sprint(aRes) != fmt.Sprint(bRes) || aUse != bUse {
+		t.Errorf("occupancy diverges: manager res=%v use=%d, sharded res=%v use=%d", aRes, aUse, bRes, bUse)
+	}
+	if aReads != bReads {
+		t.Errorf("successful store reads diverge: manager %d, sharded %d", aReads, bReads)
+	}
+}
+
+// TestChaosCounterInvariants hammers a sharded pool through a seeded
+// transient-fault schedule from many goroutines (run under -race) and
+// asserts the accounting invariants hold at quiescence: misses equal
+// successful store reads, nothing stays pinned, and per-term residency
+// sums to the occupied frames.
+func TestChaosCounterInvariants(t *testing.T) {
+	ix, st := testEnv(t)
+	rules, err := storage.ParseFaultSchedule("transient:prob=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := storage.NewFaultStore(st, 7, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewShardedManager(4, 2, fs, ix, func() Policy { return NewLRU() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetRetryPolicy(RetryPolicy{
+		MaxRetries: 2,
+		Backoff:    time.Microsecond,
+		VictimWait: time.Second,
+	})
+
+	var wg sync.WaitGroup
+	var fetchErrs atomic.Int64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 400; i++ {
+				p := postings.PageID(rng.Intn(7))
+				f, _, err := m.Fetch(p)
+				if err != nil {
+					fetchErrs.Add(1)
+					continue
+				}
+				if f.Page != p || len(f.Data()) == 0 {
+					t.Errorf("frame for %d: page=%d entries=%d", p, f.Page, len(f.Data()))
+				}
+				m.Unpin(f)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := m.Stats()
+	if s.Misses != fs.Reads() {
+		t.Errorf("misses %d != successful store reads %d", s.Misses, fs.Reads())
+	}
+	if m.PinnedFrames() != 0 {
+		t.Errorf("%d frames still pinned at quiescence", m.PinnedFrames())
+	}
+	total := 0
+	for tm := range ix.Terms {
+		r := m.ResidentPages(postings.TermID(tm))
+		if r < 0 {
+			t.Errorf("negative residency for term %d: %d", tm, r)
+		}
+		total += r
+	}
+	if total != m.InUse() {
+		t.Errorf("resident sum %d != in-use %d", total, m.InUse())
+	}
+	if fst := fs.FaultStats(); fst.Transient == 0 {
+		t.Error("chaos run injected no faults — schedule not exercised")
+	}
+	t.Logf("chaos: %d misses, %d hits, %d faults injected, %d fetch errors surfaced",
+		s.Misses, s.Hits, fs.FaultStats().Transient, fetchErrs.Load())
+}

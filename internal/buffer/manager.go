@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"bufir/internal/postings"
 )
@@ -45,6 +46,10 @@ type Frame struct {
 	// barrier).
 	loading chan struct{}
 	loadErr error
+	// nonResident marks a frame whose load failed: its term's residency
+	// count was surrendered at failure time (BAF's b_t must not count
+	// data-less pages), so removal must not decrement it again.
+	nonResident bool
 
 	// intrusive doubly-linked list (LRU/MRU recency chain)
 	prev, next *Frame
@@ -106,6 +111,14 @@ type Manager struct {
 	resident []int // per-term count of buffered pages (b_t)
 	stats    Stats
 	weights  QueryWeights
+
+	// retry is the fault-tolerance policy of the load path (see
+	// RetryPolicy). Written only by SetRetryPolicy at setup time.
+	retry RetryPolicy
+	// space, when non-nil, is closed (and replaced by nil) the next
+	// time a frame becomes evictable — wakes fetches parked in
+	// bounded-wait backpressure (VictimWait). Guarded by mu.
+	space chan struct{}
 }
 
 // NewManager creates a buffer manager of the given page capacity over
@@ -168,23 +181,62 @@ func (m *Manager) FetchContext(ctx context.Context, id postings.PageID) (*Frame,
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
-	if f, ok := m.frames[id]; ok {
-		m.stats.Hits++
-		f.pin++
-		m.policy.Touched(f)
-		return f, false, nil
-	}
-
-	// Miss: make room if needed, then load.
-	if len(m.frames) >= m.capacity {
+	// The reservation loop: normally one pass; with bounded-wait
+	// backpressure (VictimWait > 0) a fully-pinned pool parks here —
+	// off the latch — until a pin drops, then re-checks from the top
+	// (the page may have arrived meanwhile, turning the miss into a
+	// hit). Same semantics as the sharded pool's reservation loop.
+	var noVictim *time.Timer
+	for {
+		if f, ok := m.frames[id]; ok {
+			m.stats.Hits++
+			f.pin++
+			m.policy.Touched(f)
+			if noVictim != nil {
+				noVictim.Stop()
+			}
+			return f, false, nil
+		}
+		if len(m.frames) < m.capacity {
+			break
+		}
 		victim := m.policy.Victim()
-		if victim == nil {
+		if victim != nil {
+			m.removeLocked(victim)
+			m.stats.Evictions++
+			break
+		}
+		if m.retry.VictimWait <= 0 {
 			return nil, false, ErrNoVictim
 		}
-		m.removeLocked(victim)
-		m.stats.Evictions++
+		if m.space == nil {
+			m.space = make(chan struct{})
+		}
+		space := m.space
+		if noVictim == nil {
+			noVictim = time.NewTimer(m.retry.VictimWait)
+			defer noVictim.Stop()
+		}
+		m.mu.Unlock()
+		var werr error
+		select {
+		case <-space:
+		case <-noVictim.C:
+			werr = ErrNoVictim
+		case <-ctx.Done():
+			werr = ctx.Err()
+		}
+		m.mu.Lock()
+		if werr != nil {
+			return nil, false, werr
+		}
 	}
-	data, err := m.store.ReadContext(ctx, id)
+
+	// Miss: load (inside the latch, by design — the serial pool). Load
+	// errors leave no trace: the frame was never created, no counters
+	// moved, residency never rose; the same net effect the sharded
+	// pool reaches by undoing its provisional reservation.
+	data, err := loadWithRetry(ctx, m.store, m.retry, id)
 	if err != nil {
 		return nil, false, fmt.Errorf("buffer: load page %d: %w", id, err)
 	}
@@ -212,6 +264,10 @@ func (m *Manager) Unpin(f *Frame) {
 		panic(fmt.Sprintf("buffer: unpin of unpinned page %d", f.Page))
 	}
 	f.pin--
+	if f.pin == 0 && m.space != nil {
+		close(m.space)
+		m.space = nil
+	}
 }
 
 // Contains reports whether a page is currently buffered (without
@@ -287,6 +343,10 @@ func (m *Manager) Flush() {
 	for _, f := range m.frames {
 		m.removeLocked(f)
 	}
+	if m.space != nil {
+		close(m.space)
+		m.space = nil
+	}
 }
 
 // Stats returns a snapshot of the hit/miss/eviction counters.
@@ -309,3 +369,13 @@ func (m *Manager) removeLocked(f *Frame) {
 	delete(m.frames, f.Page)
 	m.resident[f.Term]--
 }
+
+// SetRetryPolicy installs the fault-tolerance policy of the load path
+// (retry/backoff of transient load errors, bounded-wait backpressure
+// on a fully-pinned pool). The zero policy — the default — disables
+// both. Call at setup time, before the pool is shared between
+// goroutines; it is not synchronized with concurrent fetches.
+func (m *Manager) SetRetryPolicy(rp RetryPolicy) { m.retry = rp }
+
+// RetryPolicy returns the installed fault-tolerance policy.
+func (m *Manager) RetryPolicy() RetryPolicy { return m.retry }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bufir/internal/postings"
 )
@@ -50,6 +51,10 @@ type ShardedManager struct {
 	querySeq atomic.Uint64
 
 	polName string
+
+	// retry is the fault-tolerance policy of the load path (see
+	// RetryPolicy). Written only by SetRetryPolicy at setup time.
+	retry RetryPolicy
 }
 
 // shard is one latch domain: a capacity slice, its frames, and a
@@ -60,6 +65,31 @@ type shard struct {
 	frames   map[postings.PageID]*Frame
 	policy   Policy
 	querySeq uint64
+
+	// space, when non-nil, is closed (and replaced by nil) the next
+	// time a frame of this shard becomes evictable — the broadcast that
+	// wakes fetches parked in bounded-wait backpressure (VictimWait).
+	// Lazily created: nil whenever nobody waits, so the signal costs a
+	// nil check on the unpin path when backpressure is off.
+	space chan struct{}
+}
+
+// spaceLocked returns the channel a backpressured fetch should wait
+// on. Caller holds sh.mu.
+func (sh *shard) spaceLocked() chan struct{} {
+	if sh.space == nil {
+		sh.space = make(chan struct{})
+	}
+	return sh.space
+}
+
+// signalSpaceLocked wakes every fetch waiting for an evictable frame.
+// Caller holds sh.mu.
+func (sh *shard) signalSpaceLocked() {
+	if sh.space != nil {
+		close(sh.space)
+		sh.space = nil
+	}
 }
 
 var _ Pool = (*ShardedManager)(nil)
@@ -161,89 +191,152 @@ func (m *ShardedManager) Fetch(id postings.PageID) (*Frame, bool, error) {
 //     context, becoming the new loader if the page is still absent.
 //     One session's cancellation therefore never aborts another's
 //     query — the invariant the shared pool's fairness rests on.
+//   - Likewise a waiter whose loader's I/O failed does not inherit
+//     that failure verbatim: it re-attempts the fetch under its own
+//     (still live) context, becoming the new loader — with its own
+//     retry budget — if the page is still absent. Only the session
+//     that performed the failing read reports its error; each failed
+//     loader exits, so the waiting population drains and the loop
+//     terminates.
 func (m *ShardedManager) FetchContext(ctx context.Context, id postings.PageID) (*Frame, bool, error) {
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, false, err
 		}
 		f, missed, err := m.fetchOnce(ctx, id)
-		if err != nil && errIsContextual(err) && ctx.Err() == nil {
-			// The loader we waited on was canceled; our own request is
-			// still live, so try again (and likely become the loader).
-			continue
+		if err != nil && ctx.Err() == nil {
+			if errIsContextual(err) {
+				// The loader we waited on was canceled; our own request
+				// is still live, so try again (and likely become the
+				// loader).
+				continue
+			}
+			var wle *waiterLoadError
+			if errors.As(err, &wle) {
+				// The loader's read failed, not ours: re-attempt under
+				// our own control rather than inheriting another
+				// session's I/O failure.
+				continue
+			}
 		}
 		return f, missed, err
 	}
 }
 
 // fetchOnce runs one fetch attempt. It may return another session's
-// context error when that session was the loader; FetchContext turns
-// that into a retry.
+// context error when that session was the loader, or a waiterLoadError
+// when the loader's read failed; FetchContext turns both into a retry.
 func (m *ShardedManager) fetchOnce(ctx context.Context, id postings.PageID) (*Frame, bool, error) {
 	sh := m.shardOf(id)
-	sh.mu.Lock()
-	if f, ok := sh.frames[id]; ok {
-		f.pin++
-		sh.policy.Touched(f)
-		ch := f.loading
-		sh.mu.Unlock()
-		if ch != nil {
-			select {
-			case <-ch:
-			case <-ctx.Done():
-				// Our request died while the load is still in flight.
-				// Drop our pin; the loader keeps its own until done.
-				m.releaseWaiter(sh, f)
-				return nil, false, ctx.Err()
-			}
-			if f.loadErr != nil {
-				err := f.loadErr
-				m.releaseWaiter(sh, f)
-				return nil, false, err
-			}
-		}
-		m.hits.Add(1)
-		return f, false, nil
-	}
-
-	// Miss: reserve the frame under the latch, read outside it.
-	if len(sh.frames) >= sh.capacity {
-		victim := sh.policy.Victim()
-		if victim == nil {
+	var f *Frame
+	// The reservation loop: normally one pass; with bounded-wait
+	// backpressure (VictimWait > 0) a fully-pinned shard parks here
+	// until a pin drops, then re-checks from the top (the page may have
+	// arrived while we waited, turning the miss into a hit).
+	var noVictim *time.Timer
+	for f == nil {
+		sh.mu.Lock()
+		if hit, ok := sh.frames[id]; ok {
+			hit.pin++
+			sh.policy.Touched(hit)
+			ch := hit.loading
 			sh.mu.Unlock()
-			return nil, false, ErrNoVictim
+			if noVictim != nil {
+				noVictim.Stop()
+			}
+			if ch != nil {
+				select {
+				case <-ch:
+				case <-ctx.Done():
+					// Our request died while the load is still in
+					// flight. Drop our pin; the loader keeps its own
+					// until done.
+					m.releaseWaiter(sh, hit)
+					return nil, false, ctx.Err()
+				}
+				if hit.loadErr != nil {
+					err := hit.loadErr
+					m.releaseWaiter(sh, hit)
+					if !errIsContextual(err) {
+						// Another session's read failed; wrap so
+						// FetchContext re-attempts under our own
+						// context instead of inheriting the failure.
+						err = &waiterLoadError{err: err}
+					}
+					return nil, false, err
+				}
+			}
+			m.hits.Add(1)
+			return hit, false, nil
 		}
-		m.removeLocked(sh, victim)
-		m.evicts.Add(1)
-	}
-	f := &Frame{
-		Page:    id,
-		Term:    m.ix.TermOfPage(id),
-		Offset:  m.ix.PageOffset(id),
-		WStar:   m.ix.PageWStar(id),
-		pin:     1,
-		loading: make(chan struct{}),
-	}
-	sh.frames[id] = f
-	m.resident[f.Term].Add(1)
-	sh.policy.Admitted(f)
-	m.misses.Add(1)
-	sh.mu.Unlock()
 
-	data, err := m.store.ReadContext(ctx, id)
+		// Miss: reserve the frame under the latch, read outside it.
+		if len(sh.frames) >= sh.capacity {
+			victim := sh.policy.Victim()
+			if victim == nil {
+				if m.retry.VictimWait <= 0 {
+					sh.mu.Unlock()
+					return nil, false, ErrNoVictim
+				}
+				// Every frame is pinned: momentary backpressure, not an
+				// error. Wait (off-latch) for a pin to drop, bounded by
+				// one VictimWait across all passes of this fetch.
+				space := sh.spaceLocked()
+				sh.mu.Unlock()
+				if noVictim == nil {
+					noVictim = time.NewTimer(m.retry.VictimWait)
+				}
+				select {
+				case <-space:
+					continue
+				case <-noVictim.C:
+					return nil, false, ErrNoVictim
+				case <-ctx.Done():
+					noVictim.Stop()
+					return nil, false, ctx.Err()
+				}
+			}
+			m.removeLocked(sh, victim)
+			m.evicts.Add(1)
+		}
+		f = &Frame{
+			Page:    id,
+			Term:    m.ix.TermOfPage(id),
+			Offset:  m.ix.PageOffset(id),
+			WStar:   m.ix.PageWStar(id),
+			pin:     1,
+			loading: make(chan struct{}),
+		}
+		sh.frames[id] = f
+		m.resident[f.Term].Add(1)
+		sh.policy.Admitted(f)
+		m.misses.Add(1)
+		sh.mu.Unlock()
+	}
+	if noVictim != nil {
+		noVictim.Stop()
+	}
+
+	data, err := loadWithRetry(ctx, m.store, m.retry, id)
 
 	sh.mu.Lock()
 	if err != nil {
 		// Counters must reflect successful loads only, matching
 		// Manager: undo the provisional miss, poison the frame for any
-		// waiters, and withdraw it once the last pin drops.
+		// waiters, and withdraw it once the last pin drops. Residency
+		// drops NOW — a poisoned frame kept alive by waiter pins holds
+		// no data, and BAF's b_t inquiry must not see data-less pages
+		// as buffer-resident (it would underestimate d_t).
 		m.misses.Add(-1)
+		m.resident[f.Term].Add(-1)
+		f.nonResident = true
 		f.loadErr = fmt.Errorf("buffer: load page %d: %w", id, err)
 		close(f.loading)
 		loadErr := f.loadErr
 		f.pin--
 		if f.pin == 0 {
 			m.removeLocked(sh, f)
+			sh.signalSpaceLocked()
 		}
 		sh.mu.Unlock()
 		return nil, false, loadErr
@@ -269,8 +362,11 @@ func (m *ShardedManager) releaseWaiter(sh *shard, f *Frame) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	f.pin--
-	if f.pin == 0 && f.loadErr != nil {
-		m.removeLocked(sh, f)
+	if f.pin == 0 {
+		if f.loadErr != nil {
+			m.removeLocked(sh, f)
+		}
+		sh.signalSpaceLocked()
 	}
 }
 
@@ -284,6 +380,9 @@ func (m *ShardedManager) Unpin(f *Frame) {
 		panic(fmt.Sprintf("buffer: unpin of unpinned page %d", f.Page))
 	}
 	f.pin--
+	if f.pin == 0 {
+		sh.signalSpaceLocked()
+	}
 }
 
 // Contains reports whether a page is currently buffered, without
@@ -383,6 +482,7 @@ func (m *ShardedManager) Flush() {
 		for _, f := range sh.frames {
 			m.removeLocked(sh, f)
 		}
+		sh.signalSpaceLocked()
 		sh.mu.Unlock()
 	}
 }
@@ -403,9 +503,23 @@ func (m *ShardedManager) ResetStats() {
 	m.evicts.Store(0)
 }
 
-// removeLocked detaches f from its shard. Caller holds sh.mu.
+// removeLocked detaches f from its shard. Caller holds sh.mu. A frame
+// whose load failed already surrendered its residency count at failure
+// time (nonResident), so it must not be decremented again here.
 func (m *ShardedManager) removeLocked(sh *shard, f *Frame) {
 	sh.policy.Removed(f)
 	delete(sh.frames, f.Page)
-	m.resident[f.Term].Add(-1)
+	if !f.nonResident {
+		m.resident[f.Term].Add(-1)
+	}
 }
+
+// SetRetryPolicy installs the fault-tolerance policy of the load path
+// (retry/backoff of transient load errors, bounded-wait backpressure
+// on a fully-pinned shard). The zero policy — the default — disables
+// both. Call at setup time, before the pool is shared between
+// goroutines; it is not synchronized with concurrent fetches.
+func (m *ShardedManager) SetRetryPolicy(rp RetryPolicy) { m.retry = rp }
+
+// RetryPolicy returns the installed fault-tolerance policy.
+func (m *ShardedManager) RetryPolicy() RetryPolicy { return m.retry }

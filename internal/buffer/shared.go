@@ -54,6 +54,13 @@ type PoolManager interface {
 	Policy() string
 	Flush()
 	ResetStats()
+	// SetRetryPolicy installs the fault-tolerance policy of the load
+	// path (transient-error retry/backoff, bounded-wait backpressure on
+	// a fully-pinned pool); zero disables both. Setup time only — not
+	// synchronized with concurrent fetches.
+	SetRetryPolicy(rp RetryPolicy)
+	// RetryPolicy returns the installed fault-tolerance policy.
+	RetryPolicy() RetryPolicy
 }
 
 var (
@@ -120,6 +127,10 @@ func (sp *SharedPool) UserView(id int) *UserView {
 
 // Manager exposes the underlying manager for stats and maintenance.
 func (sp *SharedPool) Manager() PoolManager { return sp.mgr }
+
+// SetRetryPolicy installs the fault-tolerance policy on the underlying
+// manager (see RetryPolicy). Setup time only.
+func (sp *SharedPool) SetRetryPolicy(rp RetryPolicy) { sp.mgr.SetRetryPolicy(rp) }
 
 // ActiveUsers returns the number of users with a query currently in
 // the shared registry. Engine shutdown withdraws every session, so

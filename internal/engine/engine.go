@@ -181,8 +181,9 @@ type Engine struct {
 	// lock-free — workers record on the hot path.
 	queueWait  obs.Histogram
 	service    obs.Histogram
-	queueDepth atomic.Int64 // accepted, not yet picked up by a worker
-	inFlight   atomic.Int64 // currently held by a worker
+	retryWait  obs.Histogram // backoff waits of buffer load retries
+	queueDepth atomic.Int64  // accepted, not yet picked up by a worker
+	inFlight   atomic.Int64  // currently held by a worker
 }
 
 var _ obs.Source = (*Engine)(nil)
@@ -366,8 +367,15 @@ func (e *Engine) worker() {
 			e.counters.PagesRead.Add(int64(res.PagesRead))
 			e.counters.PagesProcessed.Add(int64(res.PagesProcessed))
 			e.counters.EntriesProcessed.Add(int64(res.EntriesProcessed))
+			e.counters.Faults.Add(int64(res.Faults))
 		}
 		switch {
+		case err == nil && res != nil && res.Degraded:
+			// Ran to the end, but an I/O fault cost it at least one
+			// term round (Result.Degraded): a delivered answer, yet not
+			// a completed one — kept out of Completed so the completed
+			// latency mean stays honest.
+			e.counters.Degraded.Add(1)
 		case err == nil:
 			e.counters.Completed.Add(1)
 			e.counters.CompletedServiceNanos.Add(int64(j.service))
@@ -402,6 +410,16 @@ func (e *Engine) Counters() metrics.ServingSnapshot {
 	return e.counters.Snapshot()
 }
 
+// RecordRetry notes one buffer-level load retry about to back off for
+// wait. Wire it as the pool's RetryPolicy.OnRetry hook so the serving
+// counters and the retry-wait histogram see fault-path activity that
+// is otherwise invisible per query (retries happen inside the buffer,
+// below per-session accounting). Lock-free; safe from any goroutine.
+func (e *Engine) RecordRetry(wait time.Duration) {
+	e.counters.Retries.Add(1)
+	e.retryWait.Observe(wait)
+}
+
 // ObsSnapshot assembles the full observability snapshot: serving
 // counters, latency histograms, engine gauges, and the buffer pool's
 // live state. Lock-free on the engine side (counters and histograms
@@ -420,6 +438,7 @@ func (e *Engine) ObsSnapshot() obs.Snapshot {
 		},
 		QueueWait: e.queueWait.Snapshot(),
 		Service:   e.service.Snapshot(),
+		RetryWait: e.retryWait.Snapshot(),
 		Buffer: obs.BufferSnapshot{
 			Policy:         mgr.Policy(),
 			Capacity:       mgr.Capacity(),

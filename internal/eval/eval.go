@@ -85,6 +85,15 @@ type Params struct {
 	// Ablation knob: the paper prescribes the idf tie-break in Figure
 	// 2 step 3a; this measures what it buys.
 	NoIDFTieBreak bool
+	// FaultBudget is the per-query error budget: how many term rounds
+	// may be abandoned because their list faulted (a non-context fetch
+	// error that survived the buffer's retries) before the query itself
+	// errors. A faulted term keeps the pages it already contributed and
+	// is marked Faulted in the trace; the query completes as a §2.2
+	// anytime partial ranking with Result.Degraded set. 0 — the default
+	// — preserves the historical behavior: the first fetch error fails
+	// the query.
+	FaultBudget int
 }
 
 // PaperParams returns the tuning used throughout the paper's
@@ -119,6 +128,9 @@ func (p Params) Validate() error {
 	}
 	if p.TopN < 1 {
 		return fmt.Errorf("eval: TopN %d < 1", p.TopN)
+	}
+	if p.FaultBudget < 0 {
+		return fmt.Errorf("eval: FaultBudget %d < 0", p.FaultBudget)
 	}
 	return nil
 }
@@ -159,6 +171,11 @@ type TermTrace struct {
 	// the pages counted above processed. A truncated term is the
 	// visible edge of an anytime partial result.
 	Truncated bool
+	// Faulted is true when the term's list scan was abandoned by a
+	// fetch error charged to the query's FaultBudget: the pages already
+	// processed kept their contribution, the rest of the list was
+	// skipped. A faulted term is the visible edge of a degraded result.
+	Faulted bool
 }
 
 // Result is the outcome of evaluating one query.
@@ -191,6 +208,14 @@ type Result struct {
 	// which lists were cut short (Truncated) and which were never
 	// reached (absent).
 	Partial bool
+	// Degraded is true when at least one term round was abandoned by a
+	// fetch error within the query's FaultBudget: the query completed
+	// and Top is a legal anytime ranking, but one or more lists
+	// contributed fewer pages than a fault-free run would have. The
+	// Trace shows which (Faulted).
+	Degraded bool
+	// Faults counts the term rounds abandoned under the FaultBudget.
+	Faults int
 	// Trace holds per-term detail in processing order.
 	Trace []TermTrace
 }
@@ -286,6 +311,8 @@ func (e *Evaluator) EvaluateContext(ctx context.Context, algo Algorithm, q Query
 			st.res.Accumulators = len(st.acc)
 			st.res.Smax = st.smax
 			st.res.Partial = true
+			st.res.Faults = st.faults
+			st.res.Degraded = st.faults > 0
 			st.res.Elapsed = time.Since(start)
 			return st.res, err
 		}
@@ -296,6 +323,8 @@ func (e *Evaluator) EvaluateContext(ctx context.Context, algo Algorithm, q Query
 	st.res.Top = rank.TopN(st.acc, e.Idx.DocLen, e.Params.TopN)
 	st.res.Accumulators = len(st.acc)
 	st.res.Smax = st.smax
+	st.res.Faults = st.faults
+	st.res.Degraded = st.faults > 0
 	st.res.Elapsed = time.Since(start)
 	return st.res, nil
 }
@@ -325,9 +354,10 @@ func (e *Evaluator) checkQuery(q Query) error {
 // counters, which is what makes sessions re-entrant and their
 // statistics exact when many queries run in parallel on one pool.
 type evalState struct {
-	acc  map[postings.DocID]float64
-	smax float64
-	res  *Result
+	acc    map[postings.DocID]float64
+	smax   float64
+	faults int // term rounds abandoned under Params.FaultBudget
+	res    *Result
 }
 
 // thresholds computes (f_ins, f_add) for term t per Equation 5:
@@ -401,6 +431,17 @@ scan:
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				tr.Truncated = true
 				ctxErr = err
+				break scan
+			}
+			if st.faults < e.Params.FaultBudget {
+				// Charge the fault to the query's error budget and
+				// abandon the rest of this list: the pages already
+				// scanned keep their contribution (the same legal §2.2
+				// stopping point a truncation uses), and the query goes
+				// on to its remaining terms as a degraded ranking
+				// instead of erroring.
+				st.faults++
+				tr.Faulted = true
 				break scan
 			}
 			return fmt.Errorf("eval: term %q page %d: %w", tm.Name, i, err)

@@ -161,3 +161,34 @@ func TestAblations(t *testing.T) {
 	}
 	t.Logf("ablations:\n%s", buf.String())
 }
+
+func TestFaultsExperiment(t *testing.T) {
+	env := newTinyEnv(t)
+	r, err := env.RunFaults(4, 2, 2, 7)
+	if err != nil {
+		t.Fatalf("faults: %v", err)
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if len(r.Rows) < 2 || r.Rows[0].Prob != 0 {
+		t.Fatalf("want a fault-free reference row plus a sweep, got %d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if got := row.Completed + row.Degraded + row.Errors; got != int64(row.Submitted) {
+			t.Errorf("prob %.3f: outcomes sum to %d, want %d submitted", row.Prob, got, row.Submitted)
+		}
+		if row.DeliveredShare() < 0.99 {
+			t.Errorf("prob %.3f: delivered share %.2f, want >= 0.99", row.Prob, row.DeliveredShare())
+		}
+		// At the tiny scale prob=0.001 may legitimately roll zero
+		// faults; from 1% on the schedule must fire.
+		if row.Prob >= 0.01 && row.Injected == 0 {
+			t.Errorf("prob %.3f: schedule injected no faults", row.Prob)
+		}
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if last.Retries == 0 {
+		t.Errorf("prob %.3f: no retries spent despite %d injected faults", last.Prob, last.Injected)
+	}
+	t.Logf("faults:\n%s", buf.String())
+}

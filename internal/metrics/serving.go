@@ -31,10 +31,12 @@ type ServingCounters struct {
 
 	// Request-lifecycle outcomes. Every executed request lands in
 	// exactly one bucket — Completed, Timeouts (deadline expired
-	// before completion), Canceled (context canceled), or Errors — so
-	// Queries == Completed + Timeouts + Canceled + Errors holds at
-	// quiescence. Shed requests (rejected at admission, queue full)
-	// were never executed and are disjoint from all of the above.
+	// before completion), Canceled (context canceled), Errors, or
+	// Degraded (ran to the end, but at least one term round was
+	// abandoned by an I/O fault within the query's error budget) — so
+	// Queries == Completed + Timeouts + Canceled + Errors + Degraded
+	// holds at quiescence. Shed requests (rejected at admission, queue
+	// full) were never executed and are disjoint from all of the above.
 	// Partials counts the subset of Timeouts that returned an anytime
 	// partial answer instead of an error; a partial-returning request
 	// counts in both Timeouts and Partials, never in Completed.
@@ -43,6 +45,17 @@ type ServingCounters struct {
 	Timeouts  atomic.Int64
 	Canceled  atomic.Int64
 	Partials  atomic.Int64
+	Degraded  atomic.Int64
+
+	// Fault-path counters. Retries counts buffer-level re-attempts of
+	// failed page loads (each one a backoff sleep plus another store
+	// read); Faults counts term rounds abandoned under the per-query
+	// error budget, summed over all executed requests. Neither is an
+	// outcome bucket: a query whose every fault was retried away still
+	// lands in Completed, with only Retries recording that anything
+	// happened.
+	Retries atomic.Int64
+	Faults  atomic.Int64
 }
 
 // ServingSnapshot is a point-in-time copy of ServingCounters.
@@ -59,6 +72,9 @@ type ServingSnapshot struct {
 	Timeouts              int64
 	Canceled              int64
 	Partials              int64
+	Degraded              int64
+	Retries               int64
+	Faults                int64
 }
 
 // Snapshot copies the counters.
@@ -76,6 +92,9 @@ func (c *ServingCounters) Snapshot() ServingSnapshot {
 		Timeouts:              c.Timeouts.Load(),
 		Canceled:              c.Canceled.Load(),
 		Partials:              c.Partials.Load(),
+		Degraded:              c.Degraded.Load(),
+		Retries:               c.Retries.Load(),
+		Faults:                c.Faults.Load(),
 	}
 }
 

@@ -24,6 +24,10 @@ type Snapshot struct {
 	// by the cutoff; see metrics.ServingSnapshot.MeanServiceMicros for
 	// the same caveat on the mean.
 	Service HistogramSnapshot
+	// RetryWait is the distribution of backoff waits applied before
+	// buffer-level load retries, one observation per retry (empty when
+	// the fault-tolerant load path is off or no load has failed).
+	RetryWait HistogramSnapshot
 	// Buffer is the shared buffer pool's live state.
 	Buffer BufferSnapshot
 }

@@ -31,6 +31,12 @@ func writeMetrics(w io.Writer, s obs.Snapshot) {
 	counter("bufir_canceled_total", "Requests canceled by their submitter.", sv.Canceled)
 	counter("bufir_errors_total", "Requests failed with a non-context error.", sv.Errors)
 	counter("bufir_shed_total", "Requests rejected at admission (queue full).", sv.Shed)
+	counter("bufir_degraded_total", "Requests that completed with at least one term round lost to an I/O fault.", sv.Degraded)
+
+	// Fault-path counters: buffer-level load retries and eval-level
+	// faulted term rounds.
+	counter("bufir_retries_total", "Buffer load retries (backoff sleeps before re-reads).", sv.Retries)
+	counter("bufir_faults_total", "Term rounds abandoned under the per-query error budget.", sv.Faults)
 
 	// Cost counters: the paper's metrics, aggregated over every
 	// evaluation that ran — including aborted and canceled ones, which
@@ -67,6 +73,8 @@ func writeMetrics(w io.Writer, s obs.Snapshot) {
 		"Submit-to-execution wait time.", s.QueueWait)
 	writeHistogram(w, "bufir_service_seconds",
 		"Request service time (execution start to completion, all outcomes).", s.Service)
+	writeHistogram(w, "bufir_retry_wait_seconds",
+		"Backoff waits applied before buffer load retries.", s.RetryWait)
 }
 
 // writeHistogram emits one histogram in Prometheus cumulative-bucket

@@ -1,0 +1,68 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzParseFaultSchedule throws arbitrary specs at the schedule parser
+// and checks the decoder's two contracts: it never panics (malformed
+// specs are operator input — irbench flags, config files — and must
+// fail with an error, not a crash), and every accepted schedule
+// round-trips: FormatFaultSchedule renders it back to a spec that
+// reparses to the same rules. The seed corpus covers every option and
+// the grammar's edge shapes (open ranges, multi-rule, duplicate keys).
+func FuzzParseFaultSchedule(f *testing.F) {
+	for _, seed := range []string{
+		"transient",
+		"permanent",
+		"latency:spike=1ms",
+		"transient:prob=0.01",
+		"transient:prob=1",
+		"permanent:pages=7",
+		"permanent:pages=3-",
+		"transient:pages=2-9,first=2",
+		"latency:prob=0.25,spike=5ms",
+		"transient:every=10;permanent:pages=0;latency:spike=1ms",
+		"transient:first=1,every=2,prob=0.5,pages=0-100",
+		"transient:pages=0-0",
+		"transient:prob=0.5,prob=0.25", // last key wins, still valid
+		" transient : prob=0.5 ",
+		"transient;",
+		";transient",
+		"transient:pages=9999999999999999999", // overflows int
+		"latency:spike=1h",
+		"transient:prob=1e-9",
+		"transient:prob=0.0",
+		"bogus",
+		"transient:pages=1-2-3",
+		"permanent:first=1",
+		"latency",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		rules, err := ParseFaultSchedule(spec)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		if len(rules) == 0 {
+			t.Fatalf("ParseFaultSchedule(%q) accepted with zero rules", spec)
+		}
+		for i, r := range rules {
+			if err := r.validate(); err != nil {
+				t.Fatalf("ParseFaultSchedule(%q) accepted invalid rule %d: %v", spec, i, err)
+			}
+		}
+		out := FormatFaultSchedule(rules)
+		rules2, err := ParseFaultSchedule(out)
+		if err != nil {
+			t.Fatalf("format of accepted spec %q does not reparse: %q: %v", spec, out, err)
+		}
+		if fmt.Sprint(rules) != fmt.Sprint(rules2) {
+			t.Fatalf("round trip changed rules:\n spec    %q\n format  %q\n before  %v\n after   %v",
+				spec, out, rules, rules2)
+		}
+	})
+}

@@ -27,6 +27,13 @@ type EvalOptions struct {
 	// ForceFirstPage guarantees at least one page of every query term
 	// is processed (the paper's fix for ignored refinement terms).
 	ForceFirstPage bool
+	// FaultBudget is the per-query error budget: how many term rounds
+	// may be lost to I/O faults (fetch errors that survived the
+	// buffer's retries) before the query itself errors. A query that
+	// spends budget completes as an anytime ranking with
+	// Result.Degraded set and the lost lists marked Faulted in the
+	// trace. 0 — the default — fails the query on the first fault.
+	FaultBudget int
 }
 
 // params resolves the options into evaluator parameters: TopN defaults
@@ -39,6 +46,7 @@ func (o EvalOptions) params(fallback eval.Params) (eval.Params, error) {
 		CIns:           o.CIns,
 		TopN:           o.TopN,
 		ForceFirstPage: o.ForceFirstPage,
+		FaultBudget:    o.FaultBudget,
 	}
 	if p.TopN == 0 {
 		p.TopN = 20

@@ -15,9 +15,9 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 STATICCHECK := $(shell $(GO) env GOPATH)/bin/staticcheck
 
-.PHONY: ci lint depgraph vet build test race leaks fuzz-seeds fuzz bench concurrency obs faults chaos
+.PHONY: ci lint depgraph vet build test race leaks fuzz-seeds fuzz bench cover concurrency obs faults chaos refine-incr
 
-ci: lint depgraph build test race leaks fuzz-seeds faults-smoke
+ci: lint depgraph build test race leaks fuzz-seeds faults-smoke cover
 
 lint:
 	@if [ -x "$(STATICCHECK)" ] || $(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) 2>/dev/null; then \
@@ -66,13 +66,30 @@ leaks:
 # Replays the checked-in seed corpora (testdata/fuzz/**) plus the f.Add
 # seeds through every fuzz target, without engaging the fuzzing engine.
 fuzz-seeds:
-	$(GO) test -run=Fuzz ./internal/codec ./internal/textproc ./internal/storage
+	$(GO) test -run=Fuzz ./internal/codec ./internal/textproc ./internal/storage ./internal/eval
 
 # Short exploratory fuzzing of every target (not part of ci; minutes).
 fuzz:
 	$(GO) test -fuzz=FuzzCodecRoundTrip -fuzztime=60s ./internal/codec
 	$(GO) test -fuzz=FuzzTokenize -fuzztime=60s ./internal/textproc
 	$(GO) test -fuzz=FuzzParseFaultSchedule -fuzztime=60s ./internal/storage
+	$(GO) test -fuzz=FuzzCanonicalQuery -fuzztime=60s ./internal/eval
+
+# Coverage floor: the evaluation core and the refinement workload
+# generator must stay at or above 80% statement coverage — the
+# metamorphic/incremental machinery lives there and silent coverage
+# rot is how exactness bugs sneak in.
+COVER_FLOOR := 80.0
+cover:
+	@for pkg in ./internal/eval ./internal/refine; do \
+		$(GO) test -count=1 -coverprofile=/tmp/bufir-cover.out $$pkg >/dev/null || exit 1; \
+		pct=$$($(GO) tool cover -func=/tmp/bufir-cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+		echo "cover $$pkg: $$pct% (floor $(COVER_FLOOR)%)"; \
+		ok=$$(awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN {print (p+0 >= f+0) ? 1 : 0}'); \
+		if [ "$$ok" != "1" ]; then \
+			echo "cover: $$pkg below the $(COVER_FLOOR)% floor"; exit 1; \
+		fi; \
+	done
 
 # Fault smoke gate: the seeded-fault regression tests of every layer —
 # loader retry/backoff, waiter re-attempt, residency-at-failure, victim
@@ -102,6 +119,11 @@ obs:
 # overlap@20 vs the fault-free reference.
 faults:
 	$(GO) run ./cmd/irbench -exp faults
+
+# The incremental-refinement experiment (E24): per-step pages-read and
+# service-time deltas of snapshot resume + result cache vs cold.
+refine-incr:
+	$(GO) run ./cmd/irbench -exp refine-incr
 
 # Long randomized chaos run (not part of ci; minutes): the engine- and
 # buffer-level chaos tests looped under -race with fresh schedules.

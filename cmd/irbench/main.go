@@ -13,7 +13,7 @@
 //	fig3 fig4 table4 table5 table12 table6 fig5 fig6 table7 fig7 fig8
 //	multiuser concurrency lifecycle faults obs ablations baselines
 //	compression feedback docsorted weblegend boolean dualbuf summary
-//	effect
+//	effect refine-incr
 //
 // (fig56/fig78 are aliases for the figure pairs; default "all").
 // concurrency sweeps -workers over the E12 workload with -cusers
@@ -31,7 +31,10 @@
 // observability endpoint live on -obsaddr, prints the histogram/gauge
 // report, and verifies the /metrics self-scrape against the engine's
 // counters; -obshold keeps the endpoint up after the run so it can be
-// curl'ed from outside.
+// curl'ed from outside. refine-incr grows -topics topic queries one
+// term at a time against an engine with incremental refinement
+// enabled, comparing each ADD-ONLY resubmission (accumulator-snapshot
+// resume, result cache) with a cold evaluation of the same query.
 package main
 
 import (
@@ -198,6 +201,7 @@ func main() {
 	run("dualbuf", func() (formatter, error) { return env.RunDualBuf() })
 	run("summary", func() (formatter, error) { return env.RunSummary(refine.AddOnly, *topics, 6) })
 	run("effect", func() (formatter, error) { return env.RunEffectiveness(effTopics(*topics), 4) })
+	run("refine-incr", func() (formatter, error) { return env.RunRefineIncr(*topics) })
 
 	fmt.Fprintf(w, "total time %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -64,6 +64,12 @@ type EngineConfig struct {
 	// Zero value: loads fail on the first error and a fully-pinned pool
 	// fails fast — the historical semantics, at zero cost.
 	Fault FaultToleranceOptions
+	// Refine configures incremental refinement reuse across a user's
+	// submissions: per-user snapshot resume for ADD-ONLY resubmissions
+	// plus a bounded result cache over canonicalized queries, with
+	// hit/miss/invalidation counters in Stats and /metrics. Zero
+	// value: off (every submission evaluates cold).
+	Refine RefineOptions
 }
 
 // FaultToleranceOptions configures how the engine's buffer pool rides
@@ -185,6 +191,10 @@ func (ix *Index) NewEngine(cfg EngineConfig) (*Engine, error) {
 		MaxQueue:     cfg.MaxQueue,
 		QueryTimeout: cfg.QueryTimeout,
 		OnDeadline:   cfg.OnDeadline,
+		Refine: engine.RefineConfig{
+			Incremental:  cfg.Refine.Incremental,
+			CacheEntries: cfg.Refine.CacheEntries,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -256,6 +266,21 @@ func (e *Engine) SubmitContext(ctx context.Context, user int, q Query) (*Ticket,
 		return nil, err
 	}
 	return &Ticket{job: j}, nil
+}
+
+// RefineContext executes one request for the user through the
+// incremental refinement path, blocking until its result is ready. It
+// is SearchContext under EngineConfig.Refine.Incremental: resubmitting
+// an already-answered query returns the cached ranking (Result.Cached,
+// zero cost counters), and an ADD-ONLY extension of the user's
+// previous query resumes from the carried snapshot
+// (Result.ReusedRounds) instead of re-scanning — bit-identical to a
+// cold evaluation either way. Without Refine.Incremental in the
+// engine's config, RefineContext is plain SearchContext: there is no
+// per-request opt-in, because reuse state must be maintained on every
+// submission to be valid on any.
+func (e *Engine) RefineContext(ctx context.Context, user int, q Query) (*Result, error) {
+	return e.inner.SearchContext(ctx, user, q)
 }
 
 // Stats returns the engine's atomic serving counters.

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A small synthetic collection with planted topics and relevance
 	// judgments (deterministic in the seed).
 	col, err := bufir.GenerateCollection(bufir.TinyCollectionConfig(1998))
@@ -61,7 +63,7 @@ func main() {
 		total := 0
 		fmt.Printf("%s/LRU with %d buffer pages:\n", algo, bufferPages)
 		for i, rq := range seq.Refinements {
-			res, err := session.Search(rq)
+			res, err := session.SearchContext(ctx, rq)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -74,4 +76,37 @@ func main() {
 
 	fmt.Println("BAF processes buffer-resident lists first, so each refinement")
 	fmt.Println("re-reads far less than DF under the same LRU pool.")
+
+	// Incremental refinement goes one layer above buffer reuse: a DF
+	// session carries the accumulator snapshot across ADD-ONLY steps,
+	// so each resubmission replays the already-processed term rounds
+	// for free and scans only the new lists — bit-identical to a cold
+	// evaluation of the grown query.
+	session, err := ix.NewSession(bufir.SessionConfig{
+		Policy:      bufir.LRU,
+		BufferPages: bufferPages,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, res, err := session.StartRefinementOpts(ctx, seq.Refinements[0],
+		bufir.RefineOptions{Incremental: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDF incremental session:\n")
+	fmt.Printf("  refinement  1 (%2d terms): %4d disk reads\n",
+		len(ref.Current()), res.PagesRead)
+	for i := 1; i < len(seq.Refinements); i++ {
+		// Each refinement grows the previous one; feed only the delta.
+		added := seq.Refinements[i][len(seq.Refinements[i-1]):]
+		res, err := ref.AddContext(ctx, added...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		step := ref.History[len(ref.History)-1]
+		fmt.Printf("  refinement %2d (%2d terms): %4d disk reads, %d rounds replayed from the snapshot\n",
+			i+1, len(ref.Current()), res.PagesRead, step.ReusedRounds)
+	}
+	fmt.Printf("  total: %d disk reads\n", ref.TotalDiskReads())
 }

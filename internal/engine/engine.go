@@ -98,6 +98,11 @@ type Config struct {
 	// context.DeadlineExceeded (default) or return the anytime
 	// partial answer.
 	OnDeadline DeadlinePolicy
+	// Refine enables incremental refinement reuse: per-user snapshot
+	// resume across ADD-ONLY resubmissions and a bounded result cache
+	// over canonicalized queries. Zero value = off (every submission
+	// evaluates cold, the historical behavior).
+	Refine RefineConfig
 }
 
 // Job is one submitted request. Wait blocks until it completes.
@@ -148,6 +153,15 @@ type userState struct {
 	view *buffer.UserView
 	ev   *eval.Evaluator
 	tail chan struct{}
+
+	// Refinement-reuse state (Config.Refine): the snapshot of the
+	// user's last completed evaluation and the canonical query that
+	// produced it. Accessed only by the worker executing the user's
+	// current job — the done-channel chain serializes a user's jobs,
+	// so no lock is needed (close of the previous done channel
+	// happens-before the next job runs).
+	lastSnap  *eval.Snapshot
+	lastQuery eval.Query
 }
 
 // Engine is the concurrent query engine. Create with New, submit with
@@ -174,6 +188,10 @@ type Engine struct {
 	mu     sync.Mutex
 	users  map[int]*userState
 	closed bool
+
+	// refine is the bounded result cache of the refinement-reuse path;
+	// nil when Config.Refine is off.
+	refine *refineCache
 
 	counters metrics.ServingCounters
 
@@ -224,6 +242,9 @@ func New(ix *postings.Index, conv *postings.ConversionTable, pool *buffer.Shared
 		stopCancel: stopCancel,
 		drained:    make(chan struct{}),
 		users:      make(map[int]*userState),
+	}
+	if cfg.Refine.enabled() {
+		e.refine = newRefineCache(cfg.Refine.capacity())
 	}
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -350,7 +371,11 @@ func (e *Engine) worker() {
 		var res *eval.Result
 		err := j.ctx.Err()
 		if err == nil {
-			res, err = j.us.ev.EvaluateContext(j.ctx, e.cfg.Algo, j.Query)
+			if e.cfg.Refine.enabled() {
+				res, err = e.refineEvaluate(j)
+			} else {
+				res, err = j.us.ev.EvaluateContext(j.ctx, e.cfg.Algo, j.Query)
+			}
 		}
 		j.service = time.Since(start)
 

@@ -1,0 +1,192 @@
+// Engine-level incremental refinement: a per-user carried evaluation
+// snapshot (the same reuse bufir.Refinement gets, here surviving
+// across SubmitContext calls) plus a small bounded result cache keyed
+// by canonicalized query, so resubmitting a query the engine already
+// answered — permuted term order and split duplicates included —
+// costs no evaluation at all.
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"bufir/internal/eval"
+	"bufir/internal/rank"
+)
+
+// RefineConfig enables and sizes the engine's refinement-reuse path.
+type RefineConfig struct {
+	// Incremental routes every submission through the refine path:
+	// queries are canonicalized, results of clean completed
+	// evaluations are cached, and each user carries the last
+	// evaluation's snapshot so an ADD-ONLY next query resumes instead
+	// of re-scanning (DF only; under BAF the path still caches results
+	// but never resumes).
+	Incremental bool
+	// CacheEntries bounds the result cache (LRU over {user, canonical
+	// query}). 0 selects the default of 256; negative disables result
+	// caching while keeping snapshot resume.
+	CacheEntries int
+}
+
+// enabled reports whether the refine path is on at all.
+func (rc RefineConfig) enabled() bool { return rc.Incremental }
+
+// capacity resolves the result-cache bound.
+func (rc RefineConfig) capacity() int {
+	switch {
+	case rc.CacheEntries < 0:
+		return 0
+	case rc.CacheEntries == 0:
+		return 256
+	default:
+		return rc.CacheEntries
+	}
+}
+
+// refineKey identifies a cached result: one user's canonicalized
+// query. Results are kept per-user — the cache mirrors the paper's
+// per-user refinement sessions, and a user's resubmission hitting
+// another user's entry would cross request-isolation lines the rest
+// of the engine maintains.
+type refineKey struct {
+	user int
+	key  uint64
+}
+
+// refineEntry is one cached outcome: the completed result and the
+// snapshot that evaluation produced (nil under BAF), so returning to
+// a cached query also restores its resume point.
+type refineEntry struct {
+	key  refineKey
+	res  *eval.Result
+	snap *eval.Snapshot
+}
+
+// refineCache is a mutex-guarded LRU over refineEntry. Workers of
+// different users touch it concurrently; the critical sections are a
+// map lookup plus a list splice, far below the latch costs of the
+// buffer pool underneath.
+type refineCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	idx map[refineKey]*list.Element
+}
+
+func newRefineCache(capacity int) *refineCache {
+	return &refineCache{cap: capacity, ll: list.New(), idx: make(map[refineKey]*list.Element)}
+}
+
+// get returns the entry for k, promoting it to most-recent.
+func (c *refineCache) get(k refineKey) (*refineEntry, bool) {
+	if c == nil || c.cap == 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*refineEntry), true
+}
+
+// put inserts or refreshes k's entry, evicting the least-recent entry
+// past capacity.
+func (c *refineCache) put(k refineKey, res *eval.Result, snap *eval.Snapshot) {
+	if c == nil || c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[k]; ok {
+		el.Value = &refineEntry{key: k, res: res, snap: snap}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.idx[k] = c.ll.PushFront(&refineEntry{key: k, res: res, snap: snap})
+	for c.ll.Len() > c.cap {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.idx, tail.Value.(*refineEntry).key)
+	}
+}
+
+// len reports the resident entry count (tests).
+func (c *refineCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// cachedCopy returns the result to hand a cache-hit caller: the
+// ranking fields of the original evaluation with every cost counter
+// zeroed (no I/O or scanning happened — zeroing is what keeps the
+// engine's PagesRead equal to the buffer pool's miss count) and
+// Cached set. Top is copied so callers cannot alias the cached
+// ranking.
+func cachedCopy(orig *eval.Result) *eval.Result {
+	cp := &eval.Result{
+		Top:          append([]rank.ScoredDoc(nil), orig.Top...),
+		Accumulators: orig.Accumulators,
+		Smax:         orig.Smax,
+		Cached:       true,
+	}
+	return cp
+}
+
+// refineEvaluate is the worker's evaluation path when the refine
+// config is enabled: result cache first, snapshot resume second, cold
+// evaluation last. Per-user snapshot state (us.lastSnap/lastQuery)
+// needs no lock — a user's jobs are serialized by the done-channel
+// chain, and the close of the previous job's done channel
+// happens-before this job's execution.
+func (e *Engine) refineEvaluate(j *Job) (*eval.Result, error) {
+	us := j.us
+	cq := eval.CanonicalQuery(j.Query)
+	k := refineKey{user: j.User, key: eval.CanonicalKey(cq)}
+
+	if ent, ok := e.refine.get(k); ok {
+		e.counters.RefineHits.Add(1)
+		// Returning to a cached query also restores its resume point:
+		// the next ADD-ONLY step resumes from here.
+		if ent.snap != nil {
+			us.lastSnap, us.lastQuery = ent.snap, cq
+		}
+		return cachedCopy(ent.res), nil
+	}
+	e.counters.RefineMisses.Add(1)
+
+	prev := us.lastSnap
+	if prev != nil && !eval.AddOnlyStep(us.lastQuery, cq) {
+		// Not an ADD-ONLY step: the carried snapshot is dead weight for
+		// this query, and per the invalidation rule it is dropped
+		// rather than kept around for a hypothetical return.
+		us.lastSnap, us.lastQuery = nil, nil
+		prev = nil
+		e.counters.RefineInvalidations.Add(1)
+	}
+	res, snap, err := us.ev.EvaluateResumeContext(j.ctx, e.cfg.Algo, cq, prev)
+	if err != nil {
+		return res, err
+	}
+	if res.ReusedRounds > 0 {
+		e.counters.RefineResumes.Add(1)
+		e.counters.RefineReusedRounds.Add(int64(res.ReusedRounds))
+	}
+	if snap != nil {
+		us.lastSnap, us.lastQuery = snap, cq
+	}
+	// Only clean completed evaluations are cached: a degraded result
+	// must not be replayed to a later submitter whose run could have
+	// been fault-free.
+	if !res.Degraded && !res.Partial {
+		e.refine.put(k, res, snap)
+	}
+	return res, nil
+}

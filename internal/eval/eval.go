@@ -176,6 +176,14 @@ type TermTrace struct {
 	// processed kept their contribution, the rest of the list was
 	// skipped. A faulted term is the visible edge of a degraded result.
 	Faulted bool
+	// Reused is true when the round was replayed from a refinement
+	// snapshot instead of scanning the list (EvaluateResumeContext):
+	// the accumulator effects are bit-identical to a cold scan, but no
+	// buffer traffic happened, so the page and entry counters above are
+	// zero. The threshold fields (SmaxBefore, FIns, FAdd) keep the
+	// values of the original scan — a cold run would recompute the
+	// same ones.
+	Reused bool
 }
 
 // Result is the outcome of evaluating one query.
@@ -216,6 +224,18 @@ type Result struct {
 	Degraded bool
 	// Faults counts the term rounds abandoned under the FaultBudget.
 	Faults int
+	// ReusedRounds counts the term rounds replayed from a carried
+	// refinement snapshot instead of being scanned
+	// (EvaluateResumeContext); 0 for cold evaluations. Replayed rounds
+	// contribute nothing to the page and entry counters — skipping
+	// that work is the point.
+	ReusedRounds int
+	// Cached is true when the result was served verbatim from a
+	// refinement result cache without running an evaluation: the
+	// ranking fields (Top, Accumulators, Smax) are those of the
+	// original evaluation, the cost counters are zero (no I/O or
+	// scanning happened), and Trace is nil.
+	Cached bool
 	// Trace holds per-term detail in processing order.
 	Trace []TermTrace
 }
@@ -268,20 +288,32 @@ func (e *Evaluator) Evaluate(algo Algorithm, q Query) (*Result, error) {
 // answer or only the error. Every non-context error still returns a
 // nil result.
 func (e *Evaluator) EvaluateContext(ctx context.Context, algo Algorithm, q Query) (*Result, error) {
+	res, _, err := e.evaluate(ctx, algo, q, nil, false)
+	return res, err
+}
+
+// evaluate is the shared core of EvaluateContext and
+// EvaluateResumeContext: run the query, optionally resuming the DF
+// prefix recorded in prev, optionally recording a snapshot of the new
+// trajectory (DF only — see Snapshot for why the other algorithms
+// cannot be resumed exactly).
+func (e *Evaluator) evaluate(ctx context.Context, algo Algorithm, q Query, prev *Snapshot, record bool) (*Result, *Snapshot, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := e.checkQuery(q); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// A request that is already dead must not perturb the shared
 	// query registry (RAP re-keys replacement values on every
 	// announcement).
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Announce the query to the buffer manager so RAP can re-key its
-	// replacement values (no-op for LRU/MRU).
+	// replacement values (no-op for LRU/MRU). Resumed evaluations
+	// announce exactly like cold ones: the full query is what the
+	// user is running, whatever prefix of it we can avoid re-scanning.
 	weights := make(map[postings.TermID]float64, len(q))
 	for _, qt := range q {
 		weights[qt.Term] = rank.QueryWeight(qt.Fqt, e.Idx.IDF(qt.Term))
@@ -290,23 +322,30 @@ func (e *Evaluator) EvaluateContext(ctx context.Context, algo Algorithm, q Query
 
 	start := time.Now()
 	st := &evalState{
-		acc: make(map[postings.DocID]float64, 64),
-		res: &Result{},
+		acc:       make(map[postings.DocID]float64, 64),
+		res:       &Result{},
+		recording: record && algo == DF,
 	}
 	var err error
 	switch algo {
 	case DF:
-		err = e.runDF(ctx, q, st)
+		ord := e.dfOrder(q)
+		if p := e.resumePrefix(ord, prev); p > 0 {
+			e.replay(prev, p, st)
+		}
+		err = e.runOrdered(ctx, ord[st.res.ReusedRounds:], st)
 	case BAF:
 		err = e.runBAF(ctx, q, st)
 	case WebLegend:
 		err = e.runWebLegend(ctx, q, st)
 	default:
-		return nil, fmt.Errorf("eval: unknown algorithm %d", int(algo))
+		return nil, nil, fmt.Errorf("eval: unknown algorithm %d", int(algo))
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			// Anytime semantics: finalize what was accumulated.
+			// Anytime semantics: finalize what was accumulated. No
+			// snapshot is returned — a truncated trajectory is not a
+			// legal resume point, and the caller keeps its previous one.
 			st.res.Top = rank.TopN(st.acc, e.Idx.DocLen, e.Params.TopN)
 			st.res.Accumulators = len(st.acc)
 			st.res.Smax = st.smax
@@ -314,9 +353,9 @@ func (e *Evaluator) EvaluateContext(ctx context.Context, algo Algorithm, q Query
 			st.res.Faults = st.faults
 			st.res.Degraded = st.faults > 0
 			st.res.Elapsed = time.Since(start)
-			return st.res, err
+			return st.res, nil, err
 		}
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Steps 5-6: normalize by W_d and pick the n best.
@@ -326,7 +365,11 @@ func (e *Evaluator) EvaluateContext(ctx context.Context, algo Algorithm, q Query
 	st.res.Faults = st.faults
 	st.res.Degraded = st.faults > 0
 	st.res.Elapsed = time.Since(start)
-	return st.res, nil
+	var snap *Snapshot
+	if st.recording {
+		snap = &Snapshot{algo: algo, params: e.Params, rounds: st.rec}
+	}
+	return st.res, snap, nil
 }
 
 func (e *Evaluator) checkQuery(q Query) error {
@@ -358,6 +401,43 @@ type evalState struct {
 	smax   float64
 	faults int // term rounds abandoned under Params.FaultBudget
 	res    *Result
+
+	// Snapshot recording (EvaluateResumeContext). When recording is
+	// set, every accumulator assignment of the current round is
+	// appended to curWrites in chronological order, and processTerm
+	// finalizes each round into rec. Replaying those assignments in
+	// order reproduces the exact floating-point accumulator state — the
+	// foundation of the bit-identical resume guarantee.
+	recording bool
+	rec       []roundRec
+	curWrites []accWrite
+}
+
+// noteWrite records one accumulator assignment for the round being
+// processed (no-op unless recording).
+func (st *evalState) noteWrite(doc postings.DocID, val float64) {
+	if st.recording {
+		st.curWrites = append(st.curWrites, accWrite{Doc: doc, Val: val})
+	}
+}
+
+// endRound finalizes the current round's record. clean marks a round
+// whose full effect was applied (not truncated, not faulted, not cut
+// by the fault budget): only clean rounds are legal resume prefix
+// material.
+func (st *evalState) endRound(qt QueryTerm, clean bool, tr TermTrace) {
+	if !st.recording {
+		return
+	}
+	st.rec = append(st.rec, roundRec{
+		Term:      qt.Term,
+		Fqt:       qt.Fqt,
+		SmaxAfter: st.smax,
+		Writes:    st.curWrites,
+		Clean:     clean,
+		Trace:     tr,
+	})
+	st.curWrites = nil
 }
 
 // thresholds computes (f_ins, f_add) for term t per Equation 5:
@@ -418,6 +498,9 @@ func (e *Evaluator) processTerm(ctx context.Context, qt QueryTerm, estReads int,
 		tr.Skipped = true
 		tr.Elapsed = time.Since(roundStart)
 		st.res.Trace = append(st.res.Trace, tr)
+		// A skip is a complete, deterministic round effect (no writes):
+		// it is clean resume material.
+		st.endRound(qt, true, tr)
 		return nil
 	}
 
@@ -461,6 +544,7 @@ scan:
 				// candidate set.
 				ad := st.acc[entry.Doc] + rank.DocWeight(entry.Freq, tm.IDF)*wqt
 				st.acc[entry.Doc] = ad
+				st.noteWrite(entry.Doc, ad)
 				if ad > st.smax {
 					st.smax = ad
 				}
@@ -470,6 +554,7 @@ scan:
 				if old, ok := st.acc[entry.Doc]; ok {
 					ad := old + rank.DocWeight(entry.Freq, tm.IDF)*wqt
 					st.acc[entry.Doc] = ad
+					st.noteWrite(entry.Doc, ad)
 					if ad > st.smax {
 						st.smax = ad
 					}
@@ -489,15 +574,21 @@ scan:
 	st.res.PagesProcessed += tr.PagesProcessed
 	st.res.EntriesProcessed += tr.EntriesProcessed
 	st.res.Trace = append(st.res.Trace, tr)
+	// A truncated or faulted round applied only part of its list: its
+	// writes are real (the partial answer accounts for them) but the
+	// round is not a legal resume point, so it is marked not-clean and
+	// the prefix matcher stops in front of it.
+	st.endRound(qt, !tr.Truncated && !tr.Faulted, tr)
 	return ctxErr
 }
 
-// runDF is Figure 1: terms sorted by decreasing idf_t (shortest lists
-// first), ties broken by TermID for determinism. The context is
-// re-checked at every term round — the paper's filtering loop is
-// round-structured, which is what makes stopping between rounds a
-// legal (anytime) termination.
-func (e *Evaluator) runDF(ctx context.Context, q Query, st *evalState) error {
+// dfOrder returns the query in Figure 1's canonical processing order:
+// decreasing idf_t (shortest lists first), ties broken by TermID for
+// determinism. This order is a pure function of the query and the
+// index — never of buffer state — which is what makes a DF trajectory
+// resumable: any query sharing a prefix of this order shares the
+// state trajectory through that prefix.
+func (e *Evaluator) dfOrder(q Query) Query {
 	ordered := make(Query, len(q))
 	copy(ordered, q)
 	sort.SliceStable(ordered, func(i, j int) bool {
@@ -508,6 +599,14 @@ func (e *Evaluator) runDF(ctx context.Context, q Query, st *evalState) error {
 		}
 		return a.Term < b.Term
 	})
+	return ordered
+}
+
+// runOrdered is Figure 1's round loop over an already-ordered term
+// list. The context is re-checked at every term round — the paper's
+// filtering loop is round-structured, which is what makes stopping
+// between rounds a legal (anytime) termination.
+func (e *Evaluator) runOrdered(ctx context.Context, ordered Query, st *evalState) error {
 	for _, qt := range ordered {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -517,6 +616,11 @@ func (e *Evaluator) runDF(ctx context.Context, q Query, st *evalState) error {
 		}
 	}
 	return nil
+}
+
+// runDF is Figure 1: canonical order, then the round loop.
+func (e *Evaluator) runDF(ctx context.Context, q Query, st *evalState) error {
+	return e.runOrdered(ctx, e.dfOrder(q), st)
 }
 
 // runBAF is Figure 2: in each round, select the unmarked term with the

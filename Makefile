@@ -15,9 +15,9 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 STATICCHECK := $(shell $(GO) env GOPATH)/bin/staticcheck
 
-.PHONY: ci lint depgraph vet build test race leaks fuzz-seeds fuzz bench cover concurrency obs faults chaos refine-incr
+.PHONY: ci lint depgraph vet build test race leaks fuzz-seeds fuzz bench cover concurrency obs faults chaos refine-incr storetest bench-store
 
-ci: lint depgraph build test race leaks fuzz-seeds faults-smoke cover
+ci: lint depgraph build test race leaks fuzz-seeds faults-smoke storetest bench-store cover
 
 lint:
 	@if [ -x "$(STATICCHECK)" ] || $(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) 2>/dev/null; then \
@@ -66,7 +66,7 @@ leaks:
 # Replays the checked-in seed corpora (testdata/fuzz/**) plus the f.Add
 # seeds through every fuzz target, without engaging the fuzzing engine.
 fuzz-seeds:
-	$(GO) test -run=Fuzz ./internal/codec ./internal/textproc ./internal/storage ./internal/eval
+	$(GO) test -run=Fuzz ./internal/codec ./internal/textproc ./internal/storage ./internal/eval ./internal/indexfile
 
 # Short exploratory fuzzing of every target (not part of ci; minutes).
 fuzz:
@@ -74,6 +74,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzTokenize -fuzztime=60s ./internal/textproc
 	$(GO) test -fuzz=FuzzParseFaultSchedule -fuzztime=60s ./internal/storage
 	$(GO) test -fuzz=FuzzCanonicalQuery -fuzztime=60s ./internal/eval
+	$(GO) test -fuzz=FuzzPageFileHeader -fuzztime=60s ./internal/indexfile
 
 # Coverage floor: the evaluation core and the refinement workload
 # generator must stay at or above 80% statement coverage — the
@@ -103,6 +104,29 @@ faults-smoke:
 
 bench:
 	$(GO) test -run=xxx -bench=. -benchtime=1x .
+
+# The PageStore conformance suite under -race: every backend — the
+# in-memory simulator, the compressed store, and the file-backed store
+# over both access paths (mmap and pread) — held to the identical
+# read/accounting/context/fault contract.
+storetest:
+	$(GO) test -race -count=1 -run 'TestPageStoreConformance|TestFileStore|TestOpenFileStore' ./internal/storage
+
+# Price one logical page read on every backend and emit the numbers as
+# BENCH_store.json (simulator counter bump vs real file I/O + checksum
+# + decompression). BENCHTIME is kept short for the ci smoke path;
+# raise it for stable numbers.
+BENCHTIME ?= 100x
+bench-store:
+	@$(GO) test -run=xxx -bench=BenchmarkPageStore -benchtime=$(BENCHTIME) ./internal/storage | tee /tmp/bufir-bench-store.txt
+	@awk 'BEGIN { print "[" } \
+		/^BenchmarkPageStore\// { \
+			sub(/^BenchmarkPageStore\//, "", $$1); \
+			if (n++) printf ",\n"; \
+			printf "  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s}", $$1, $$2, $$3 \
+		} \
+		END { print "\n]" }' /tmp/bufir-bench-store.txt > BENCH_store.json
+	@echo "wrote BENCH_store.json"; cat BENCH_store.json
 
 # The concurrency experiment: QPS/latency vs. worker count and the
 # 1-worker exactness verification against the serial E12 run.

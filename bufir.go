@@ -128,7 +128,7 @@ func GenerateCollection(cfg CollectionConfig) (*Collection, error) {
 // disk. Create Sessions on it to run queries.
 type Index struct {
 	ix    *postings.Index
-	store storage.PageSource
+	store storage.PageStore
 	conv  *postings.ConversionTable
 	// pages holds the raw page payloads (shared with the store for
 	// the uncompressed representation) so the index can be persisted.
@@ -183,12 +183,24 @@ func NewCompressedIndex(col *Collection) (*Index, error) {
 }
 
 // CompressionStats reports the store's compression statistics, or
-// (zero, false) for an uncompressed index.
+// (zero, false) for an uncompressed index. Both the in-memory
+// compressed representation (NewCompressedIndex) and the file-backed
+// one (OpenIndexFile) report; fault-injection layers are looked
+// through.
 func (ix *Index) CompressionStats() (CompressionStats, bool) {
-	if cs, ok := ix.store.(*storage.CompressedStore); ok {
-		return cs.CompressionStats(), true
+	st := ix.store
+	for {
+		switch s := st.(type) {
+		case *storage.CompressedStore:
+			return s.CompressionStats(), true
+		case *storage.FileStore:
+			return s.CompressionStats(), true
+		case *storage.FaultStore:
+			st = s.Inner()
+		default:
+			return CompressionStats{}, false
+		}
 	}
-	return CompressionStats{}, false
 }
 
 // IndexOptions controls IndexDocuments.
@@ -261,11 +273,108 @@ func (ix *Index) NearDocs(a, b string, k int) ([]DocID, error) {
 // names and the stop-word list of document-built indexes are included
 // so OpenIndex restores text-query support.
 func (ix *Index) Save(path string) error {
-	var aux *indexfile.Aux
-	if ix.docNames != nil || ix.stopWords != nil {
-		aux = &indexfile.Aux{DocNames: ix.docNames, StopWords: ix.stopWords}
+	pages, err := ix.pagePayloads()
+	if err != nil {
+		return err
 	}
-	return indexfile.SaveFile(path, ix.ix, ix.pages, aux)
+	return indexfile.SaveFile(path, ix.ix, pages, ix.aux())
+}
+
+// WriteFile persists the index as a paged index file (the BUFIR2
+// format): block-compressed pages behind a fixed-size page directory,
+// each page individually checksummed and aligned to blockSize bytes
+// (0 = the 4 KiB default). Unlike Save — whose single compressed blob
+// OpenIndex must decode wholly into memory — a file written here can
+// be served page-at-a-time straight from disk with OpenIndexFile.
+func (ix *Index) WriteFile(path string, blockSize int) error {
+	if blockSize == 0 {
+		blockSize = indexfile.DefaultBlockSize
+	}
+	pages, err := ix.pagePayloads()
+	if err != nil {
+		return err
+	}
+	return indexfile.WritePageFile(path, ix.ix, pages, ix.aux(), blockSize)
+}
+
+// OpenIndexFile opens an index written by WriteFile without loading
+// its pages into memory: every buffer-pool miss becomes a real read
+// against the file (a memory-mapped view where the platform supports
+// it, pread otherwise) plus a per-page checksum verification and
+// decompression. Queries return exactly the same answers as over the
+// in-memory store; only the physical cost of a miss changes. Close
+// the index when done with it.
+func OpenIndexFile(path string) (*Index, error) {
+	fs, err := storage.OpenFileStore(path, indexfile.PageFileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	pf := fs.File()
+	out := &Index{
+		ix:    pf.Index,
+		store: fs,
+		conv:  postings.NewConversionTable(pf.Index, postings.DefaultMaxKey),
+	}
+	out.applyAux(pf.Aux)
+	return out, nil
+}
+
+// Close releases the resources of a file-backed index (OpenIndexFile):
+// the mapping and the file handle. It is a no-op for in-memory
+// indexes, and looks through fault-injection layers. Do not use the
+// index — or sessions, engines and pools created from it — after
+// Close.
+func (ix *Index) Close() error {
+	st := ix.store
+	for {
+		switch s := st.(type) {
+		case *storage.FileStore:
+			return s.Close()
+		case *storage.FaultStore:
+			st = s.Inner()
+		default:
+			return nil
+		}
+	}
+}
+
+// aux collects the auxiliary data persisted alongside the postings,
+// nil when there is none.
+func (ix *Index) aux() *indexfile.Aux {
+	if ix.docNames == nil && ix.stopWords == nil {
+		return nil
+	}
+	return &indexfile.Aux{DocNames: ix.docNames, StopWords: ix.stopWords}
+}
+
+// applyAux restores auxiliary data onto a loaded index.
+func (ix *Index) applyAux(aux *indexfile.Aux) {
+	if aux == nil {
+		return
+	}
+	ix.docNames = aux.DocNames
+	ix.stopWords = aux.StopWords
+	if aux.DocNames != nil || aux.StopWords != nil {
+		ix.pipe = textproc.NewPipeline(aux.StopWords)
+	}
+}
+
+// pagePayloads returns the raw page payloads, reading them quietly
+// off the backend when the index is itself file-backed (its pages are
+// not resident in memory).
+func (ix *Index) pagePayloads() ([][]postings.Entry, error) {
+	if ix.pages != nil {
+		return ix.pages, nil
+	}
+	pages := make([][]postings.Entry, ix.ix.NumPagesTotal)
+	for i := range pages {
+		p, err := ix.store.ReadQuiet(postings.PageID(i))
+		if err != nil {
+			return nil, fmt.Errorf("bufir: materializing page %d: %w", i, err)
+		}
+		pages[i] = p
+	}
+	return pages, nil
 }
 
 // OpenIndex loads an index persisted by Save. Queries over the loaded
@@ -281,13 +390,7 @@ func OpenIndex(path string) (*Index, error) {
 		conv:  postings.NewConversionTable(pix, postings.DefaultMaxKey),
 		pages: pages,
 	}
-	if aux != nil {
-		out.docNames = aux.DocNames
-		out.stopWords = aux.StopWords
-		if aux.DocNames != nil || aux.StopWords != nil {
-			out.pipe = textproc.NewPipeline(aux.StopWords)
-		}
-	}
+	out.applyAux(aux)
 	return out, nil
 }
 

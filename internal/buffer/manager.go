@@ -19,8 +19,10 @@ import (
 // PageReader is the storage surface the buffer manager needs: a
 // counted page fetch, plus a context-bounded form that abandons the
 // read (simulated latency included) when the caller's request is
-// canceled or past its deadline. *storage.Store and
-// *storage.CompressedStore implement it.
+// canceled or past its deadline. It is the read half of
+// storage.PageStore, so every backend — the in-memory simulator, its
+// compressed variant, the file-backed store, and any fault-injection
+// stack over them — plugs in unchanged.
 type PageReader interface {
 	Read(id postings.PageID) ([]postings.Entry, error)
 	ReadContext(ctx context.Context, id postings.PageID) ([]postings.Entry, error)

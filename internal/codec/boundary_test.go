@@ -1,0 +1,151 @@
+package codec
+
+// Block-boundary coverage: pages are encoded independently, so the
+// interesting cases live where postings.Build slices a term's list
+// into pages — a frequency run straddling the cut, a page beginning
+// mid-run (its first document is absolute, not a gap from the
+// previous page), and the extreme values a directory entry or a
+// decoder accumulator could mishandle.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"bufir/internal/postings"
+)
+
+// TestRunStraddlesPageBoundary splits one long equal-frequency run
+// across pages the way postings.Build does and checks each page
+// re-frames independently: decoded pages concatenate back to the
+// exact original list.
+func TestRunStraddlesPageBoundary(t *testing.T) {
+	const pageSize = 404 // the paper's entries-per-page
+	// One run of 3 pages + 1 entry, all freq 7, docs with growing gaps.
+	var list []postings.Entry
+	doc := postings.DocID(0)
+	for i := 0; i < 3*pageSize+1; i++ {
+		list = append(list, postings.Entry{Doc: doc, Freq: 7})
+		doc += postings.DocID(1 + i%5)
+	}
+	var decoded []postings.Entry
+	for start := 0; start < len(list); start += pageSize {
+		end := min(start+pageSize, len(list))
+		enc, err := EncodePage(list[start:end])
+		if err != nil {
+			t.Fatalf("page at %d: %v", start, err)
+		}
+		got, err := DecodePage(enc, nil)
+		if err != nil {
+			t.Fatalf("page at %d: %v", start, err)
+		}
+		decoded = append(decoded, got...)
+	}
+	if !reflect.DeepEqual(decoded, list) {
+		t.Fatal("straddled run did not survive page-by-page coding")
+	}
+}
+
+// TestFrequencyDropsAtPageBoundary puts the frequency change exactly
+// on the cut: the new page's first run must carry the full absolute
+// frequency through firstFreq, not a drop from a run it cannot see.
+func TestFrequencyDropsAtPageBoundary(t *testing.T) {
+	const pageSize = 8
+	var list []postings.Entry
+	for i := 0; i < pageSize; i++ {
+		list = append(list, postings.Entry{Doc: postings.DocID(i), Freq: 9})
+	}
+	for i := 0; i < pageSize; i++ {
+		list = append(list, postings.Entry{Doc: postings.DocID(i), Freq: 2})
+	}
+	for _, page := range [][]postings.Entry{list[:pageSize], list[pageSize:]} {
+		enc, err := EncodePage(page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodePage(enc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, page) {
+			t.Fatalf("page %+v round-tripped to %+v", page[0], got[0])
+		}
+	}
+}
+
+// TestEmptyPagesRejected: neither coder direction accepts an empty
+// page — a zero-length inverted list never reaches the page level
+// (postings.Build drops it), so an empty blob in a file is framing
+// corruption, not data.
+func TestEmptyPagesRejected(t *testing.T) {
+	if _, err := EncodePage(nil); err == nil {
+		t.Fatal("EncodePage(nil) succeeded")
+	}
+	if _, err := EncodePage([]postings.Entry{}); err == nil {
+		t.Fatal("EncodePage(empty) succeeded")
+	}
+	if _, err := DecodePage(nil, nil); err == nil {
+		t.Fatal("DecodePage(nil) succeeded")
+	}
+	if _, err := DecodePage([]byte{}, nil); err == nil {
+		t.Fatal("DecodePage(empty) succeeded")
+	}
+}
+
+// TestMaxFrequencyEntries drives the varint paths with the largest
+// values the Entry type admits: maximum frequency, maximum document
+// id, and a maximal frequency drop between adjacent runs.
+func TestMaxFrequencyEntries(t *testing.T) {
+	for _, page := range [][]postings.Entry{
+		{{Doc: math.MaxInt32, Freq: math.MaxInt32}},
+		{{Doc: 0, Freq: math.MaxInt32}, {Doc: math.MaxInt32, Freq: math.MaxInt32}},
+		// Maximal drop: MaxInt32 down to 1 across one boundary.
+		{{Doc: 5, Freq: math.MaxInt32}, {Doc: 0, Freq: 1}, {Doc: math.MaxInt32, Freq: 1}},
+	} {
+		enc, err := EncodePage(page)
+		if err != nil {
+			t.Fatalf("%+v: %v", page, err)
+		}
+		got, err := DecodePage(enc, nil)
+		if err != nil {
+			t.Fatalf("%+v: %v", page, err)
+		}
+		if !reflect.DeepEqual(got, page) {
+			t.Fatalf("round trip %+v, want %+v", got, page)
+		}
+	}
+}
+
+// TestBuildPageBoundariesRoundTrip is the integration form: pages
+// exactly as postings.Build cuts them (boundaries mid-run and on run
+// edges alike) all round-trip through the codec.
+func TestBuildPageBoundariesRoundTrip(t *testing.T) {
+	const pageSize = 16
+	lists := []postings.TermPostings{{Name: "t"}}
+	for i := 0; i < 5*pageSize+3; i++ {
+		lists[0].Entries = append(lists[0].Entries, postings.Entry{
+			Doc:  postings.DocID(i * 3),
+			Freq: int32(1 + (5*pageSize+3-i)/pageSize), // slow frequency decay
+		})
+	}
+	_, pages, err := postings.Build(lists, 5*pageSize*3+9, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) < 6 {
+		t.Fatalf("expected ≥6 pages, got %d", len(pages))
+	}
+	for id, page := range pages {
+		enc, err := EncodePage(page)
+		if err != nil {
+			t.Fatalf("page %d: %v", id, err)
+		}
+		got, err := DecodePage(enc, nil)
+		if err != nil {
+			t.Fatalf("page %d: %v", id, err)
+		}
+		if !reflect.DeepEqual(got, page) {
+			t.Fatalf("page %d did not round-trip", id)
+		}
+	}
+}

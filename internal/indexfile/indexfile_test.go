@@ -1,4 +1,4 @@
-package indexfile
+package indexfile_test
 
 import (
 	"bytes"
@@ -11,6 +11,7 @@ import (
 	"bufir/internal/buffer"
 	"bufir/internal/corpus"
 	"bufir/internal/eval"
+	"bufir/internal/indexfile"
 	"bufir/internal/postings"
 	"bufir/internal/storage"
 )
@@ -34,10 +35,10 @@ func buildSample(t testing.TB) (*postings.Index, [][]postings.Entry) {
 func TestSaveLoadRoundTrip(t *testing.T) {
 	ix, pages := buildSample(t)
 	var buf bytes.Buffer
-	if err := Save(&buf, ix, pages, nil); err != nil {
+	if err := indexfile.Save(&buf, ix, pages, nil); err != nil {
 		t.Fatal(err)
 	}
-	gotIx, gotPages, _, err := Load(&buf)
+	gotIx, gotPages, _, err := indexfile.Load(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,13 +91,13 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 func TestSaveLoadFile(t *testing.T) {
 	ix, pages := buildSample(t)
 	path := filepath.Join(t.TempDir(), "corpus.bufir")
-	if err := SaveFile(path, ix, pages, nil); err != nil {
+	if err := indexfile.SaveFile(path, ix, pages, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
 		t.Error("temp file left behind")
 	}
-	gotIx, gotPages, _, err := LoadFile(path)
+	gotIx, gotPages, _, err := indexfile.LoadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,10 +119,10 @@ func TestLoadedIndexQueriesIdentically(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := Save(&buf, ix, pages, nil); err != nil {
+	if err := indexfile.Save(&buf, ix, pages, nil); err != nil {
 		t.Fatal(err)
 	}
-	ix2, pages2, _, err := Load(&buf)
+	ix2, pages2, _, err := indexfile.Load(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,19 +167,19 @@ func TestLoadedIndexQueriesIdentically(t *testing.T) {
 func TestLoadRejectsCorruption(t *testing.T) {
 	ix, pages := buildSample(t)
 	var buf bytes.Buffer
-	if err := Save(&buf, ix, pages, nil); err != nil {
+	if err := indexfile.Save(&buf, ix, pages, nil); err != nil {
 		t.Fatal(err)
 	}
 	good := buf.Bytes()
 
 	// Bad magic.
 	bad := append([]byte("NOTIDX!"), good[7:]...)
-	if _, _, _, err := Load(bytes.NewReader(bad)); err == nil {
+	if _, _, _, err := indexfile.Load(bytes.NewReader(bad)); err == nil {
 		t.Error("bad magic accepted")
 	}
 	// Truncations at structurally interesting points.
 	for _, cut := range []int{3, 10, len(good) / 2, len(good) - 5, len(good) - 1} {
-		if _, _, _, err := Load(bytes.NewReader(good[:cut])); err == nil {
+		if _, _, _, err := indexfile.Load(bytes.NewReader(good[:cut])); err == nil {
 			t.Errorf("truncation at %d accepted", cut)
 		}
 	}
@@ -187,29 +188,29 @@ func TestLoadRejectsCorruption(t *testing.T) {
 	for _, pos := range []int{20, len(good) / 3, len(good) - 10} {
 		mut := append([]byte(nil), good...)
 		mut[pos] ^= 0xff
-		if _, _, _, err := Load(bytes.NewReader(mut)); err == nil {
+		if _, _, _, err := indexfile.Load(bytes.NewReader(mut)); err == nil {
 			t.Errorf("corruption at %d accepted", pos)
 		}
 	}
 }
 
 func TestLoadFileMissing(t *testing.T) {
-	if _, _, _, err := LoadFile(filepath.Join(t.TempDir(), "nope.bufir")); err == nil {
+	if _, _, _, err := indexfile.LoadFile(filepath.Join(t.TempDir(), "nope.bufir")); err == nil {
 		t.Error("missing file accepted")
 	}
 }
 
 func TestAuxRoundTrip(t *testing.T) {
 	ix, pages := buildSample(t)
-	aux := &Aux{
+	aux := &indexfile.Aux{
 		DocNames:  []string{"a.txt", "b.txt", "c.txt"},
 		StopWords: []string{"the", "of"},
 	}
 	var buf bytes.Buffer
-	if err := Save(&buf, ix, pages, aux); err != nil {
+	if err := indexfile.Save(&buf, ix, pages, aux); err != nil {
 		t.Fatal(err)
 	}
-	_, _, gotAux, err := Load(&buf)
+	_, _, gotAux, err := indexfile.Load(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,31 +252,31 @@ func TestSaveWriterErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	aux := &Aux{DocNames: []string{"x", "y", "z"}, StopWords: []string{"the"}}
+	aux := &indexfile.Aux{DocNames: []string{"x", "y", "z"}, StopWords: []string{"the"}}
 	var buf bytes.Buffer
-	if err := Save(&buf, ix, pages, aux); err != nil {
+	if err := indexfile.Save(&buf, ix, pages, aux); err != nil {
 		t.Fatal(err)
 	}
 	size := buf.Len()
 	for cut := 0; cut < size; cut++ {
-		if err := Save(&failingWriter{remaining: cut}, ix, pages, aux); err == nil {
+		if err := indexfile.Save(&failingWriter{remaining: cut}, ix, pages, aux); err == nil {
 			t.Errorf("Save with writer failing at %d/%d bytes should error", cut, size)
 		}
 	}
 	// And the nil-aux path with a failing writer (its file is smaller;
 	// measure it separately).
 	var nilBuf bytes.Buffer
-	if err := Save(&nilBuf, ix, pages, nil); err != nil {
+	if err := indexfile.Save(&nilBuf, ix, pages, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := Save(&failingWriter{remaining: nilBuf.Len() - 2}, ix, pages, nil); err == nil {
-		t.Error("Save(nil aux) with failing writer should error")
+	if err := indexfile.Save(&failingWriter{remaining: nilBuf.Len() - 2}, ix, pages, nil); err == nil {
+		t.Error("indexfile.Save(nil aux) with failing writer should error")
 	}
 }
 
 func TestSaveFileBadPath(t *testing.T) {
 	ix, pages := buildSample(t)
-	if err := SaveFile("/nonexistent-dir/idx.bufir", ix, pages, nil); err == nil {
+	if err := indexfile.SaveFile("/nonexistent-dir/idx.bufir", ix, pages, nil); err == nil {
 		t.Error("SaveFile into a missing directory should fail")
 	}
 }

@@ -1,0 +1,19 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly) || bufir_readat
+
+package indexfile
+
+// Portable fallback: no memory mapping. PageFile serves every blob
+// with ReadAt (pread) into a caller-supplied staging buffer. Selected
+// automatically on platforms without syscall.Mmap, or explicitly with
+// the bufir_readat build tag.
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(*os.File, int64) ([]byte, error) { return nil, errors.ErrUnsupported }
+
+func munmapFile([]byte) error { return nil }

@@ -1,0 +1,715 @@
+// The paged on-disk index format (BUFIR2). Where the V1 stream format
+// (Save/Load, "BUFIR1\n") is decode-everything-at-open — the whole
+// page set is materialized in memory and served by the simulator — the
+// V2 format is built for demand paging: the block-compressed pages
+// stay on disk and are located through a fixed-size page directory, so
+// a storage.FileStore can serve any single page with one bounded read
+// (an mmap access or a ReadAt) plus one codec decode.
+//
+// Layout (all fixed-width integers little-endian):
+//
+//	magic     "BUFIR2\n"                  (7 bytes)
+//	flags     reserved, 0                 (1 byte)
+//	blockSize u32; page blobs start at multiples of it (0 = packed)
+//	metaLen   u64
+//	meta      metaLen bytes — the memory-resident index metadata as one
+//	          varint stream: numDocs pageSize numTerms, per term
+//	          (nameLen name df fMax numPages pageMinFreq* pageMaxFreq*),
+//	          docLen[numDocs] (float64 bits), auxFlag [aux]
+//	metaCRC   u32 (IEEE, over everything above)
+//	numPages  u64
+//	directory numPages × { offset u64, length u32, crc u32 } — offset
+//	          is relative to dataStart; crc is IEEE over the page blob
+//	dirCRC    u32 (IEEE, over numPages and the directory)
+//	data      page blobs in the compressed [PZSD96] codec format,
+//	          each aligned to blockSize when blockSize > 0
+//
+// dataStart is the end of the header rounded up to blockSize. The
+// header (meta + directory) is read and checksum-verified once at
+// open; each page blob is checksum-verified on every read against its
+// directory entry, so a corrupt page surfaces as a read error on
+// exactly that page — isolated, and classified permanent for the
+// buffer manager's retry path — instead of poisoning the whole index.
+package indexfile
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"bufir/internal/codec"
+	"bufir/internal/postings"
+)
+
+const magic2 = "BUFIR2\n"
+
+// DefaultBlockSize is the disk-block alignment WritePageFile uses when
+// the caller passes blockSize 0 at the bufir API level: 4 KiB, the
+// page size the paper's physical design reasons about (§4.2).
+const DefaultBlockSize = 4096
+
+// maxBlockSize bounds the alignment a file may declare; anything
+// larger is treated as corruption rather than honored with gigabytes
+// of padding.
+const maxBlockSize = 1 << 20
+
+// pageDirEntry locates one page blob in the data region.
+type pageDirEntry struct {
+	off uint64 // relative to dataStart
+	len uint32
+	crc uint32
+}
+
+const pageDirEntrySize = 16
+
+// CorruptPageError reports a page blob whose checksum did not match
+// its directory entry. It is permanent: rereading the same bytes
+// cannot heal it, so the buffer manager's retry path must not burn
+// its budget on it.
+type CorruptPageError struct {
+	Page int
+}
+
+// Error implements error.
+func (e *CorruptPageError) Error() string {
+	return fmt.Sprintf("indexfile: page %d checksum mismatch (corrupt page blob)", e.Page)
+}
+
+// PermanentFault marks the error as not worth retrying (the marker
+// interface buffer.RetryPolicy consults).
+func (e *CorruptPageError) PermanentFault() bool { return true }
+
+// WritePageFile persists the index in the paged V2 format, atomically
+// (temp file plus rename). blockSize aligns every page blob to a disk
+// block boundary; 0 packs the blobs back to back. Typical choices are
+// 1–8 KiB; the alignment costs padding but lets a page read touch the
+// minimum number of device blocks.
+func WritePageFile(path string, ix *postings.Index, pages [][]postings.Entry, aux *Aux, blockSize int) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	err = writePageFile(bw, ix, pages, aux, blockSize)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// writePageFile writes the full V2 stream to w.
+func writePageFile(w io.Writer, ix *postings.Index, pages [][]postings.Entry, aux *Aux, blockSize int) error {
+	if blockSize < 0 || blockSize > maxBlockSize {
+		return fmt.Errorf("indexfile: block size %d outside [0,%d]", blockSize, maxBlockSize)
+	}
+	if len(pages) != ix.NumPagesTotal {
+		return fmt.Errorf("indexfile: %d pages for an index of %d", len(pages), ix.NumPagesTotal)
+	}
+	meta, err := encodeMeta(ix, aux)
+	if err != nil {
+		return err
+	}
+
+	// Encode every page up front: the directory precedes the data.
+	blobs := make([][]byte, len(pages))
+	for i, page := range pages {
+		enc, err := codec.EncodePage(page)
+		if err != nil {
+			return fmt.Errorf("indexfile: page %d: %w", i, err)
+		}
+		blobs[i] = enc
+	}
+
+	// Lay out the data region and build the directory.
+	dir := make([]pageDirEntry, len(blobs))
+	off := uint64(0)
+	for i, blob := range blobs {
+		if blockSize > 0 {
+			off = alignUp(off, uint64(blockSize))
+		}
+		dir[i] = pageDirEntry{off: off, len: uint32(len(blob)), crc: crc32.ChecksumIEEE(blob)}
+		off += uint64(len(blob))
+	}
+
+	// Header: magic, flags, blockSize, metaLen, meta, metaCRC.
+	var head bytes.Buffer
+	head.WriteString(magic2)
+	head.WriteByte(0) // flags
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(blockSize))
+	head.Write(u32[:])
+	binary.LittleEndian.PutUint64(u64[:], uint64(len(meta)))
+	head.Write(u64[:])
+	head.Write(meta)
+	binary.LittleEndian.PutUint32(u32[:], crc32.ChecksumIEEE(head.Bytes()))
+	head.Write(u32[:])
+
+	// Directory: numPages, entries, dirCRC (over numPages + entries).
+	dirStart := head.Len()
+	binary.LittleEndian.PutUint64(u64[:], uint64(len(dir)))
+	head.Write(u64[:])
+	for _, e := range dir {
+		binary.LittleEndian.PutUint64(u64[:], e.off)
+		head.Write(u64[:])
+		binary.LittleEndian.PutUint32(u32[:], e.len)
+		head.Write(u32[:])
+		binary.LittleEndian.PutUint32(u32[:], e.crc)
+		head.Write(u32[:])
+	}
+	binary.LittleEndian.PutUint32(u32[:], crc32.ChecksumIEEE(head.Bytes()[dirStart:]))
+	head.Write(u32[:])
+
+	if _, err := w.Write(head.Bytes()); err != nil {
+		return err
+	}
+
+	// Data region: pad the header end (and inter-blob gaps) to the
+	// block alignment the directory assumed.
+	pos := uint64(0) // relative to dataStart
+	dataStart := uint64(head.Len())
+	if blockSize > 0 {
+		pad := alignUp(dataStart, uint64(blockSize)) - dataStart
+		if err := writeZeros(w, pad); err != nil {
+			return err
+		}
+	}
+	for i, blob := range blobs {
+		if gap := dir[i].off - pos; gap > 0 {
+			if err := writeZeros(w, gap); err != nil {
+				return err
+			}
+			pos += gap
+		}
+		if _, err := w.Write(blob); err != nil {
+			return err
+		}
+		pos += uint64(len(blob))
+	}
+	return nil
+}
+
+func alignUp(v, a uint64) uint64 {
+	if r := v % a; r != 0 {
+		return v + a - r
+	}
+	return v
+}
+
+var zeros [512]byte
+
+func writeZeros(w io.Writer, n uint64) error {
+	for n > 0 {
+		chunk := n
+		if chunk > uint64(len(zeros)) {
+			chunk = uint64(len(zeros))
+		}
+		if _, err := w.Write(zeros[:chunk]); err != nil {
+			return err
+		}
+		n -= chunk
+	}
+	return nil
+}
+
+// encodeMeta serializes the memory-resident metadata (everything the
+// V1 format carries except the pages) as one varint stream.
+func encodeMeta(ix *postings.Index, aux *Aux) ([]byte, error) {
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf.Write(tmp[:n])
+	}
+	putString := func(s string) {
+		put(uint64(len(s)))
+		buf.WriteString(s)
+	}
+
+	put(uint64(ix.NumDocs))
+	put(uint64(ix.PageSize))
+	put(uint64(len(ix.Terms)))
+	for t := range ix.Terms {
+		tm := &ix.Terms[t]
+		putString(tm.Name)
+		put(uint64(tm.DF))
+		put(uint64(tm.FMax))
+		put(uint64(tm.NumPages))
+		for _, v := range tm.PageMinFreq {
+			put(uint64(v))
+		}
+		for _, v := range tm.PageMaxFreq {
+			put(uint64(v))
+		}
+	}
+	for _, wd := range ix.DocLen {
+		put(math.Float64bits(wd))
+	}
+	if aux == nil {
+		put(0)
+	} else {
+		put(1)
+		put(uint64(len(aux.DocNames)))
+		for _, name := range aux.DocNames {
+			putString(name)
+		}
+		put(uint64(len(aux.StopWords)))
+		for _, word := range aux.StopWords {
+			putString(word)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeMeta reconstructs the index metadata from an encodeMeta blob,
+// applying the same plausibility checks as the V1 loader.
+func decodeMeta(data []byte) (*postings.Index, *Aux, error) {
+	br := bytes.NewReader(data)
+	get := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getString := func(maxLen uint64) (string, error) {
+		n, err := get()
+		if err != nil {
+			return "", err
+		}
+		if n > maxLen {
+			return "", fmt.Errorf("indexfile: string length %d implausible", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+
+	numDocs, err := get()
+	if err != nil {
+		return nil, nil, err
+	}
+	pageSize, err := get()
+	if err != nil {
+		return nil, nil, err
+	}
+	numTerms, err := get()
+	if err != nil {
+		return nil, nil, err
+	}
+	const sanity = 1 << 31
+	if numDocs == 0 || numDocs > sanity || pageSize == 0 || pageSize > sanity || numTerms > sanity {
+		return nil, nil, fmt.Errorf("indexfile: implausible header (%d docs, %d page size, %d terms)",
+			numDocs, pageSize, numTerms)
+	}
+	// Every term costs at least four bytes of metadata, so a count
+	// exceeding the blob length is a lie — refuse it before sizing any
+	// allocation by it (counts are attacker-controlled: CRCs detect
+	// corruption, not forgery).
+	if numTerms > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("indexfile: %d terms in a %d-byte metadata blob", numTerms, len(data))
+	}
+
+	ix := &postings.Index{
+		NumDocs:  int(numDocs),
+		PageSize: int(pageSize),
+		Terms:    make([]postings.TermMeta, numTerms),
+		Vocab:    make(map[string]postings.TermID, numTerms),
+	}
+	nextPage := postings.PageID(0)
+	for t := range ix.Terms {
+		name, err := getString(4096)
+		if err != nil {
+			return nil, nil, err
+		}
+		df, err := get()
+		if err != nil {
+			return nil, nil, err
+		}
+		fmax, err := get()
+		if err != nil {
+			return nil, nil, err
+		}
+		numPages, err := get()
+		if err != nil {
+			return nil, nil, err
+		}
+		if df == 0 || numPages == 0 || numPages > df {
+			return nil, nil, fmt.Errorf("indexfile: term %q invalid df=%d pages=%d", name, df, numPages)
+		}
+		// Each page still owes two varints (min/max frequency), so the
+		// remaining bytes bound the real page count.
+		if numPages > uint64(br.Len()) {
+			return nil, nil, fmt.Errorf("indexfile: term %q claims %d pages with %d metadata bytes left",
+				name, numPages, br.Len())
+		}
+		tm := postings.TermMeta{
+			Name:        name,
+			DF:          int(df),
+			IDF:         math.Log2(float64(numDocs) / float64(df)),
+			FMax:        int32(fmax),
+			FirstPage:   nextPage,
+			NumPages:    int(numPages),
+			PageMinFreq: make([]int32, numPages),
+			PageMaxFreq: make([]int32, numPages),
+		}
+		for i := range tm.PageMinFreq {
+			v, err := get()
+			if err != nil {
+				return nil, nil, err
+			}
+			tm.PageMinFreq[i] = int32(v)
+		}
+		for i := range tm.PageMaxFreq {
+			v, err := get()
+			if err != nil {
+				return nil, nil, err
+			}
+			tm.PageMaxFreq[i] = int32(v)
+		}
+		nextPage += postings.PageID(numPages)
+		if _, dup := ix.Vocab[tm.Name]; dup {
+			return nil, nil, fmt.Errorf("indexfile: duplicate term %q", tm.Name)
+		}
+		ix.Vocab[tm.Name] = postings.TermID(t)
+		ix.Terms[t] = tm
+	}
+	ix.DocLen = make([]float64, numDocs)
+	for d := range ix.DocLen {
+		bits, err := get()
+		if err != nil {
+			return nil, nil, err
+		}
+		ix.DocLen[d] = math.Float64frombits(bits)
+	}
+
+	var aux *Aux
+	auxFlag, err := get()
+	if err != nil {
+		return nil, nil, err
+	}
+	switch auxFlag {
+	case 0:
+	case 1:
+		aux = &Aux{}
+		nNames, err := get()
+		if err != nil {
+			return nil, nil, err
+		}
+		if nNames > numDocs {
+			return nil, nil, fmt.Errorf("indexfile: %d doc names for %d docs", nNames, numDocs)
+		}
+		for i := uint64(0); i < nNames; i++ {
+			name, err := getString(1 << 16)
+			if err != nil {
+				return nil, nil, err
+			}
+			aux.DocNames = append(aux.DocNames, name)
+		}
+		nStop, err := get()
+		if err != nil {
+			return nil, nil, err
+		}
+		if nStop > 1<<20 {
+			return nil, nil, fmt.Errorf("indexfile: %d stop-words implausible", nStop)
+		}
+		for i := uint64(0); i < nStop; i++ {
+			word, err := getString(4096)
+			if err != nil {
+				return nil, nil, err
+			}
+			aux.StopWords = append(aux.StopWords, word)
+		}
+	default:
+		return nil, nil, fmt.Errorf("indexfile: unknown aux flag %d", auxFlag)
+	}
+	if br.Len() != 0 {
+		return nil, nil, fmt.Errorf("indexfile: %d trailing bytes after metadata", br.Len())
+	}
+
+	if err := ix.RebuildPageMaps(); err != nil {
+		return nil, nil, err
+	}
+	return ix, aux, nil
+}
+
+// pageFileHeader is the parsed, verified header of a V2 file.
+type pageFileHeader struct {
+	ix        *postings.Index
+	aux       *Aux
+	blockSize int
+	dir       []pageDirEntry
+	headerLen int64 // bytes consumed by the header
+	dataStart int64 // headerLen aligned up to blockSize
+	dataLen   int64 // exact data-region length the directory implies
+}
+
+// readHeader parses and checksum-verifies the V2 header (meta +
+// directory) from r, leaving r positioned at the start of the padding
+// before the data region. It performs every structural validation that
+// does not need the file size; the caller bounds the directory against
+// the actual data region.
+func readHeader(r io.Reader) (*pageFileHeader, error) {
+	var fixed [20]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return nil, fmt.Errorf("indexfile: reading header: %w", err)
+	}
+	if string(fixed[:7]) != magic2 {
+		return nil, fmt.Errorf("indexfile: bad magic %q (not a paged index file)", fixed[:7])
+	}
+	if fixed[7] != 0 {
+		return nil, fmt.Errorf("indexfile: unknown flags %#x", fixed[7])
+	}
+	blockSize := binary.LittleEndian.Uint32(fixed[8:12])
+	if blockSize > maxBlockSize {
+		return nil, fmt.Errorf("indexfile: block size %d > %d", blockSize, maxBlockSize)
+	}
+	metaLen := binary.LittleEndian.Uint64(fixed[12:20])
+	const metaSanity = 1 << 32
+	if metaLen == 0 || metaLen > metaSanity {
+		return nil, fmt.Errorf("indexfile: implausible metadata length %d", metaLen)
+	}
+	// Grow the metadata buffer only as bytes actually arrive: metaLen
+	// is attacker-controlled until its checksum verifies, and a lying
+	// length must not allocate gigabytes against a tiny stream.
+	var metaBuf bytes.Buffer
+	if _, err := io.CopyN(&metaBuf, r, int64(metaLen)); err != nil {
+		return nil, fmt.Errorf("indexfile: reading metadata: %w", err)
+	}
+	meta := metaBuf.Bytes()
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, fmt.Errorf("indexfile: reading metadata checksum: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(fixed[:])
+	crc.Write(meta)
+	if got := binary.LittleEndian.Uint32(sum[:]); got != crc.Sum32() {
+		return nil, fmt.Errorf("indexfile: metadata checksum mismatch (file %08x, computed %08x)", got, crc.Sum32())
+	}
+	ix, aux, err := decodeMeta(meta)
+	if err != nil {
+		return nil, err
+	}
+
+	var npBuf [8]byte
+	if _, err := io.ReadFull(r, npBuf[:]); err != nil {
+		return nil, fmt.Errorf("indexfile: reading page count: %w", err)
+	}
+	numPages := binary.LittleEndian.Uint64(npBuf[:])
+	if numPages != uint64(ix.NumPagesTotal) {
+		return nil, fmt.Errorf("indexfile: page count %d does not match term layout %d", numPages, ix.NumPagesTotal)
+	}
+	dirBytes := make([]byte, numPages*pageDirEntrySize)
+	if _, err := io.ReadFull(r, dirBytes); err != nil {
+		return nil, fmt.Errorf("indexfile: reading page directory: %w", err)
+	}
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, fmt.Errorf("indexfile: reading directory checksum: %w", err)
+	}
+	crc = crc32.NewIEEE()
+	crc.Write(npBuf[:])
+	crc.Write(dirBytes)
+	if got := binary.LittleEndian.Uint32(sum[:]); got != crc.Sum32() {
+		return nil, fmt.Errorf("indexfile: directory checksum mismatch (file %08x, computed %08x)", got, crc.Sum32())
+	}
+
+	// Decode and validate the directory: offsets non-overlapping and
+	// monotone, lengths positive and plausible for the page size, and
+	// aligned when the file declares a block size.
+	dir := make([]pageDirEntry, numPages)
+	maxBlob := uint32(ix.PageSize)*12 + 64
+	var next uint64
+	var dataLen uint64
+	for i := range dir {
+		b := dirBytes[i*pageDirEntrySize:]
+		e := pageDirEntry{
+			off: binary.LittleEndian.Uint64(b),
+			len: binary.LittleEndian.Uint32(b[8:]),
+			crc: binary.LittleEndian.Uint32(b[12:]),
+		}
+		if e.len == 0 || e.len > maxBlob {
+			return nil, fmt.Errorf("indexfile: page %d implausible size %d", i, e.len)
+		}
+		if e.off < next {
+			return nil, fmt.Errorf("indexfile: page %d overlaps its predecessor (offset %d < %d)", i, e.off, next)
+		}
+		if blockSize > 0 && e.off%uint64(blockSize) != 0 {
+			return nil, fmt.Errorf("indexfile: page %d offset %d not aligned to block size %d", i, e.off, blockSize)
+		}
+		next = e.off + uint64(e.len)
+		dataLen = next
+		dir[i] = e
+	}
+
+	headerLen := int64(len(fixed)) + int64(metaLen) + 4 + 8 + int64(len(dirBytes)) + 4
+	dataStart := headerLen
+	if blockSize > 0 {
+		dataStart = int64(alignUp(uint64(headerLen), uint64(blockSize)))
+	}
+	return &pageFileHeader{
+		ix:        ix,
+		aux:       aux,
+		blockSize: int(blockSize),
+		dir:       dir,
+		headerLen: headerLen,
+		dataStart: dataStart,
+		dataLen:   int64(dataLen),
+	}, nil
+}
+
+// PageFileOptions configures OpenPageFile.
+type PageFileOptions struct {
+	// DisableMmap forces the ReadAt access path even on platforms
+	// where memory mapping is available. The bufir_readat build tag
+	// forces the same thing at compile time.
+	DisableMmap bool
+}
+
+// PageFile is an open paged index file: the metadata and page
+// directory held in memory, the page blobs served on demand from an
+// mmap'd view of the file when the platform supports it, and from
+// pread-style ReadAt calls otherwise.
+//
+// PageBlob is safe for any degree of concurrency. Close is not
+// synchronized with in-flight reads; quiesce readers first.
+type PageFile struct {
+	// Index is the reconstructed memory-resident metadata.
+	Index *postings.Index
+	// Aux carries the optional text-pipeline state (nil when absent).
+	Aux *Aux
+
+	blockSize int
+	dir       []pageDirEntry
+	dataStart int64
+	f         *os.File
+	mm        []byte // whole-file mapping; nil on the ReadAt path
+}
+
+// OpenPageFile opens a file written by WritePageFile, verifying the
+// header checksums and directory geometry. Page blobs are not read
+// (or verified) until requested.
+func OpenPageFile(path string, opts PageFileOptions) (*PageFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := newPageFile(f, opts)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return pf, nil
+}
+
+func newPageFile(f *os.File, opts PageFileOptions) (*PageFile, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	h, err := readHeader(bufio.NewReader(f))
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < h.dataStart+h.dataLen {
+		return nil, fmt.Errorf("indexfile: file is %d bytes, directory needs %d (truncated?)",
+			st.Size(), h.dataStart+h.dataLen)
+	}
+	pf := &PageFile{
+		Index:     h.ix,
+		Aux:       h.aux,
+		blockSize: h.blockSize,
+		dir:       h.dir,
+		dataStart: h.dataStart,
+		f:         f,
+	}
+	if !opts.DisableMmap && mmapSupported {
+		if mm, err := mmapFile(f, st.Size()); err == nil {
+			pf.mm = mm
+		}
+		// An mmap failure is not fatal: ReadAt serves the same bytes.
+	}
+	return pf, nil
+}
+
+// NumPages returns the number of pages in the file.
+func (p *PageFile) NumPages() int { return len(p.dir) }
+
+// BlockSize returns the alignment the file was written with (0 =
+// packed).
+func (p *PageFile) BlockSize() int { return p.blockSize }
+
+// Mapped reports whether pages are served from a memory mapping
+// (false: the ReadAt fallback path).
+func (p *PageFile) Mapped() bool { return p.mm != nil }
+
+// EncodedBytes returns the total size of all page blobs (excluding
+// alignment padding) — the compressed footprint the directory
+// describes.
+func (p *PageFile) EncodedBytes() int64 {
+	var n int64
+	for _, e := range p.dir {
+		n += int64(e.len)
+	}
+	return n
+}
+
+// PageBlob returns page id's encoded blob, checksum-verified against
+// the directory. On the mmap path the returned slice aliases the
+// mapping — treat it as immutable and do not use it after Close. On
+// the ReadAt path the blob is read into buf (grown as needed; pass nil
+// to allocate), so callers can reuse one staging buffer across reads.
+func (p *PageFile) PageBlob(id int, buf []byte) ([]byte, error) {
+	if id < 0 || id >= len(p.dir) {
+		return nil, fmt.Errorf("indexfile: page %d out of range [0,%d)", id, len(p.dir))
+	}
+	e := p.dir[id]
+	var blob []byte
+	if p.mm != nil {
+		start := p.dataStart + int64(e.off)
+		blob = p.mm[start : start+int64(e.len) : start+int64(e.len)]
+	} else {
+		if cap(buf) < int(e.len) {
+			buf = make([]byte, e.len)
+		}
+		blob = buf[:e.len]
+		if _, err := p.f.ReadAt(blob, p.dataStart+int64(e.off)); err != nil {
+			return nil, fmt.Errorf("indexfile: page %d: %w", id, err)
+		}
+	}
+	if crc32.ChecksumIEEE(blob) != e.crc {
+		return nil, &CorruptPageError{Page: id}
+	}
+	return blob, nil
+}
+
+// Close unmaps and closes the file. Do not call with reads in flight;
+// blobs returned by the mmap path are invalid afterwards.
+func (p *PageFile) Close() error {
+	var errs []error
+	if p.mm != nil {
+		if err := munmapFile(p.mm); err != nil {
+			errs = append(errs, err)
+		}
+		p.mm = nil
+	}
+	if p.f != nil {
+		if err := p.f.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		p.f = nil
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,65 @@
+package indexfile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPageFileHeader throws arbitrary bytes at the V2 header parser
+// (magic, flags, metadata blob, page directory — everything before
+// the data region). The parser must never panic or over-allocate, and
+// whatever it does accept must satisfy the invariants every later
+// page read rests on: a directory sized to the term layout, monotone
+// non-overlapping entries, and a data region that ends where the last
+// entry says.
+func FuzzPageFileHeader(f *testing.F) {
+	// Seeds: pristine headers across the framing variants (packed and
+	// block-aligned, bare and with aux data), plus a near-miss.
+	ix, pages := buildPages(f)
+	for _, blockSize := range []int{0, 1 << 10, DefaultBlockSize} {
+		var buf bytes.Buffer
+		if err := writePageFile(&buf, ix, pages, nil, blockSize); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	var buf bytes.Buffer
+	if err := writePageFile(&buf, ix, pages, &Aux{DocNames: []string{"a.txt"}, StopWords: []string{"the"}}, 512); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(magic2))
+	f.Add([]byte(magic2 + "\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := readHeader(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: the only other acceptable outcome
+		}
+		if h.ix == nil {
+			t.Fatal("accepted header with nil index")
+		}
+		if len(h.dir) != h.ix.NumPagesTotal {
+			t.Fatalf("directory has %d entries for a %d-page term layout", len(h.dir), h.ix.NumPagesTotal)
+		}
+		if h.dataStart < h.headerLen {
+			t.Fatalf("data region (%d) starts inside the header (%d bytes)", h.dataStart, h.headerLen)
+		}
+		if h.blockSize > 0 && h.dataStart%int64(h.blockSize) != 0 {
+			t.Fatalf("data start %d not aligned to declared block size %d", h.dataStart, h.blockSize)
+		}
+		var next uint64
+		for i, e := range h.dir {
+			if e.len == 0 {
+				t.Fatalf("accepted empty page %d", i)
+			}
+			if e.off < next {
+				t.Fatalf("page %d (offset %d) overlaps its predecessor (ends at %d)", i, e.off, next)
+			}
+			next = e.off + uint64(e.len)
+		}
+		if int64(next) != h.dataLen {
+			t.Fatalf("directory ends at %d but header claims a %d-byte data region", next, h.dataLen)
+		}
+	})
+}

@@ -62,7 +62,7 @@ func (o *FeedbackOptions) defaults() {
 // workload construction).
 func FeedbackSequence(
 	ix *postings.Index,
-	st storage.PageSource,
+	st storage.PageStore,
 	initial eval.Query,
 	opts FeedbackOptions,
 	evaluate func(eval.Query) ([]rank.ScoredDoc, error),
@@ -120,7 +120,7 @@ func FeedbackSequence(
 // already in the query, ordered by descending Rocchio weight.
 func expansionTerms(
 	ix *postings.Index,
-	st storage.PageSource,
+	st storage.PageStore,
 	top []rank.ScoredDoc,
 	inQuery map[postings.TermID]bool,
 	opts FeedbackOptions,

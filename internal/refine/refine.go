@@ -78,7 +78,7 @@ type RankedTerm struct {
 //
 // Results are ordered by contribution descending; ties break by higher
 // idf, then TermID, for determinism.
-func RankByContribution(ix *postings.Index, st storage.PageSource, q eval.Query, top []rank.ScoredDoc) ([]RankedTerm, error) {
+func RankByContribution(ix *postings.Index, st storage.PageStore, q eval.Query, top []rank.ScoredDoc) ([]RankedTerm, error) {
 	want := make(map[postings.DocID]bool, len(top))
 	for _, sd := range top {
 		want[sd.Doc] = true

@@ -4,7 +4,7 @@ package storage
 // disk reads dominate query cost (§4.1); a production serving stack
 // built on that premise must also survive the reads that FAIL. This
 // file provides the chaos half of that story: a FaultStore wraps any
-// PageSource and injects transient read errors, permanent page errors,
+// PageStore and injects transient read errors, permanent page errors,
 // and latency spikes according to a deterministic, seeded schedule, so
 // a chaos run is exactly reproducible from (seed, schedule) no matter
 // how goroutines interleave.
@@ -202,7 +202,7 @@ type FaultStats struct {
 	Latency   int64
 }
 
-// FaultStore wraps a PageSource with a deterministic fault schedule.
+// FaultStore wraps a PageStore with a deterministic fault schedule.
 // Counted reads (Read/ReadContext) are subject to the schedule;
 // ReadQuiet bypasses it entirely — workload construction is offline
 // and the paper does not charge (or fault) it. The inner store's read
@@ -213,7 +213,7 @@ type FaultStats struct {
 // FaultStore is safe for any degree of concurrency: the schedule is
 // immutable and the per-page ordinals are atomics.
 type FaultStore struct {
-	inner PageSource
+	inner PageStore
 	seed  uint64
 	rules []FaultRule
 
@@ -226,11 +226,11 @@ type FaultStore struct {
 	latency   atomic.Int64
 }
 
-var _ PageSource = (*FaultStore)(nil)
+var _ PageStore = (*FaultStore)(nil)
 
 // NewFaultStore wraps inner with the given schedule. The rules are
 // validated and copied; seed fixes every probabilistic decision.
-func NewFaultStore(inner PageSource, seed uint64, rules []FaultRule) (*FaultStore, error) {
+func NewFaultStore(inner PageStore, seed uint64, rules []FaultRule) (*FaultStore, error) {
 	if inner == nil {
 		return nil, errors.New("storage: nil inner store")
 	}
@@ -249,6 +249,11 @@ func NewFaultStore(inner PageSource, seed uint64, rules []FaultRule) (*FaultStor
 
 // NumPages returns the inner store's page count.
 func (s *FaultStore) NumPages() int { return s.inner.NumPages() }
+
+// Inner returns the wrapped store, so callers can reach
+// backend-specific capabilities (compression statistics, Close)
+// through any stack of fault layers.
+func (s *FaultStore) Inner() PageStore { return s.inner }
 
 // Read is ReadContext with a background context.
 func (s *FaultStore) Read(id postings.PageID) ([]postings.Entry, error) {

@@ -1,0 +1,181 @@
+package storage_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bufir/internal/buffer"
+	"bufir/internal/indexfile"
+	"bufir/internal/postings"
+	"bufir/internal/storage"
+	"bufir/internal/storage/storetest"
+)
+
+// writeSampleFile persists the conformance sample as a paged index
+// file and returns its path plus the reference payloads.
+func writeSampleFile(t *testing.T) (string, *postings.Index, [][]postings.Entry) {
+	t.Helper()
+	ix, pages := storetest.Sample(t)
+	path := filepath.Join(t.TempDir(), "pages.bufir2")
+	if err := indexfile.WritePageFile(path, ix, pages, nil, indexfile.DefaultBlockSize); err != nil {
+		t.Fatal(err)
+	}
+	return path, ix, pages
+}
+
+// TestFileStoreCorruptPage flips the last byte of the file — inside
+// the final page's blob — and checks the full failure contract on
+// both access paths: the checksum catches it, the error is classified
+// permanent (so the pool's retry budget is not burned rereading bytes
+// that cannot heal), the failed read is uncounted, and healthy pages
+// keep working.
+func TestFileStoreCorruptPage(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts indexfile.PageFileOptions
+	}{
+		{"mmap", indexfile.PageFileOptions{}},
+		{"readat", indexfile.PageFileOptions{DisableMmap: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path, ix, pages := writeSampleFile(t)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[len(raw)-1] ^= 0xFF
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			fs, err := storage.OpenFileStore(path, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fs.Close()
+
+			last := postings.PageID(len(pages) - 1)
+			_, err = fs.Read(last)
+			var corrupt *indexfile.CorruptPageError
+			if !errors.As(err, &corrupt) {
+				t.Fatalf("read of corrupted page: err = %v, want CorruptPageError", err)
+			}
+			if corrupt.Page != int(last) {
+				t.Fatalf("CorruptPageError.Page = %d, want %d", corrupt.Page, last)
+			}
+			if !corrupt.PermanentFault() {
+				t.Fatal("corruption must classify as a permanent fault")
+			}
+			if got := fs.Reads(); got != 0 {
+				t.Fatalf("Reads() = %d after a failed read, want 0", got)
+			}
+			// Healthy pages are unaffected.
+			if _, err := fs.Read(0); err != nil {
+				t.Fatalf("read of healthy page: %v", err)
+			}
+
+			// Through a retrying pool the error surfaces immediately:
+			// permanent faults never consume retries.
+			mgr, err := buffer.NewManager(8, fs, ix, buffer.NewLRU())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var retries int
+			mgr.SetRetryPolicy(buffer.RetryPolicy{
+				MaxRetries: 3,
+				Backoff:    time.Microsecond,
+				OnRetry:    func(time.Duration) { retries++ },
+			})
+			if _, err := mgr.Get(last); !errors.As(err, &corrupt) {
+				t.Fatalf("pooled read of corrupted page: err = %v, want CorruptPageError", err)
+			}
+			if retries != 0 {
+				t.Fatalf("retries = %d rereading a permanently corrupt page, want 0", retries)
+			}
+		})
+	}
+}
+
+// TestFileStoreAccessPaths checks the runtime mmap switch: the
+// default open maps the file where the platform supports it, and
+// DisableMmap forces pread on the same file.
+func TestFileStoreAccessPaths(t *testing.T) {
+	path, _, _ := writeSampleFile(t)
+
+	pread, err := storage.OpenFileStore(path, indexfile.PageFileOptions{DisableMmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pread.Close()
+	if pread.Mapped() {
+		t.Fatal("DisableMmap store reports Mapped() = true")
+	}
+
+	def, err := storage.OpenFileStore(path, indexfile.PageFileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer def.Close()
+	t.Logf("default open: Mapped() = %v", def.Mapped())
+}
+
+// TestFileStoreStats checks the observability counters against the
+// in-memory compressed store: both hold the same codec encodings, so
+// their compression statistics must agree exactly, and DecodedEntries
+// must account every entry a counted read decompressed.
+func TestFileStoreStats(t *testing.T) {
+	path, _, pages := writeSampleFile(t)
+	fs, err := storage.OpenFileStore(path, indexfile.PageFileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	cs, err := storage.NewCompressedStore(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := fs.CompressionStats(), cs.CompressionStats()
+	if got != want {
+		t.Fatalf("CompressionStats: file %+v, in-memory %+v", got, want)
+	}
+
+	entries := 0
+	for id := range pages {
+		if _, err := fs.Read(postings.PageID(id)); err != nil {
+			t.Fatal(err)
+		}
+		entries += len(pages[id])
+	}
+	if got := fs.DecodedEntries(); got != int64(entries) {
+		t.Fatalf("DecodedEntries() = %d, want %d", got, entries)
+	}
+	fs.ResetReads()
+	if fs.DecodedEntries() != 0 || fs.Reads() != 0 {
+		t.Fatal("ResetReads left a counter standing")
+	}
+
+	if fs.File() == nil || fs.File().Index == nil {
+		t.Fatal("File() must expose the open page file")
+	}
+	if bs := fs.File().BlockSize(); bs != indexfile.DefaultBlockSize {
+		t.Fatalf("BlockSize() = %d, want default %d", bs, indexfile.DefaultBlockSize)
+	}
+}
+
+// TestOpenFileStoreErrors: opening garbage fails cleanly.
+func TestOpenFileStoreErrors(t *testing.T) {
+	if _, err := storage.OpenFileStore(filepath.Join(t.TempDir(), "missing"), indexfile.PageFileOptions{}); err == nil {
+		t.Fatal("opening a missing file succeeded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(bad, []byte("not an index file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := storage.OpenFileStore(bad, indexfile.PageFileOptions{}); err == nil {
+		t.Fatal("opening a non-index file succeeded")
+	}
+}

@@ -15,10 +15,32 @@ import (
 	"bufir/internal/postings"
 )
 
-// PageSource is the full store surface shared by the plain Store and
-// the CompressedStore: counted reads for query execution, quiet reads
-// for offline workload construction, and read accounting.
-type PageSource interface {
+// PageStore is the pluggable backend contract of the paged disk:
+// counted reads for query execution, quiet reads for offline workload
+// construction, and read accounting. Four implementations exist — the
+// in-memory simulator (Store), its compressed variant
+// (CompressedStore), the real file-backed FileStore, and the
+// fault-injection wrapper (FaultStore), which composes over any of the
+// others.
+//
+// The contract every implementation (and the storetest conformance
+// suite) holds to:
+//
+//   - ReadContext returns the page's entries, frequency-sorted exactly
+//     as postings.Build produced them; the slice must be treated as
+//     immutable by callers, and remains valid after subsequent reads.
+//   - Reads() counts DELIVERED pages only. A read refused by a dead
+//     context, failed by an injected or real I/O error, or rejected as
+//     out of range moves no counter, so "store reads" keeps meaning
+//     the paper's cost metric — pages that actually arrived — under
+//     cancellation and chaos alike.
+//   - An already-dead context fails with ctx.Err() before any disk or
+//     decode work (and before fault injection: a canceled request must
+//     not consume fault-schedule ordinals).
+//   - ReadQuiet bypasses counters, simulated latency and fault
+//     injection entirely (the paper's offline paths).
+//   - All methods are safe for any degree of concurrency.
+type PageStore interface {
 	Read(id postings.PageID) ([]postings.Entry, error)
 	ReadContext(ctx context.Context, id postings.PageID) ([]postings.Entry, error)
 	ReadQuiet(id postings.PageID) ([]postings.Entry, error)
@@ -26,6 +48,11 @@ type PageSource interface {
 	ResetReads()
 	NumPages() int
 }
+
+// PageSource is the historical name of PageStore.
+//
+// Deprecated: use PageStore.
+type PageSource = PageStore
 
 // Store is a paged read-only store of inverted-list pages, indexed by
 // PageID. The page slice is immutable after construction, so reads
@@ -54,8 +81,8 @@ type Store struct {
 var ErrInjectedFault = fmt.Errorf("storage: injected read fault")
 
 var (
-	_ PageSource = (*Store)(nil)
-	_ PageSource = (*CompressedStore)(nil)
+	_ PageStore = (*Store)(nil)
+	_ PageStore = (*CompressedStore)(nil)
 )
 
 // NewStore creates a store over the given page payloads (indexed by
@@ -83,13 +110,17 @@ func (s *Store) ReadContext(ctx context.Context, id postings.PageID) ([]postings
 	if int(id) < 0 || int(id) >= len(s.pages) {
 		return nil, fmt.Errorf("storage: page %d out of range [0,%d)", id, len(s.pages))
 	}
+	// Context first, fault injection second: an already-dead context
+	// never reaches the disk, so it must not consume a fault ordinal
+	// either — otherwise a canceled read could surface as an injected
+	// fault and shift the deterministic schedule for live readers.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if fe := s.faultEvery.Load(); fe > 0 {
 		if s.readSeq.Add(1)%fe == 0 {
 			return nil, ErrInjectedFault
 		}
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
 	}
 	if d := s.latencyNanos.Load(); d > 0 {
 		if done := ctx.Done(); done != nil {

@@ -15,9 +15,9 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 STATICCHECK := $(shell $(GO) env GOPATH)/bin/staticcheck
 
-.PHONY: ci lint depgraph vet build test race leaks fuzz-seeds fuzz bench cover concurrency obs faults chaos refine-incr storetest bench-store
+.PHONY: ci lint depgraph vet build test race leaks fuzz-seeds fuzz bench cover concurrency obs faults chaos refine-incr storetest bench-store bench-serve
 
-ci: lint depgraph build test race leaks fuzz-seeds faults-smoke storetest bench-store cover
+ci: lint depgraph build test race leaks fuzz-seeds faults-smoke storetest bench-store bench-serve cover
 
 lint:
 	@if [ -x "$(STATICCHECK)" ] || $(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) 2>/dev/null; then \
@@ -127,6 +127,15 @@ bench-store:
 		} \
 		END { print "\n]" }' /tmp/bufir-bench-store.txt > BENCH_store.json
 	@echo "wrote BENCH_store.json"; cat BENCH_store.json
+
+# The serving-tier scale-out sweep (E25): the E21-style multi-user
+# refinement workload through the public scatter-gather Router at
+# 1..16 shards, persisting QPS and tail latencies as BENCH_serve.json
+# for CI trend tracking. The sweep self-verifies: every shard count
+# must return the bit-identical top-k (unfiltered DF merge is exact).
+bench-serve:
+	@$(GO) run ./cmd/irbench -exp shards -benchjson BENCH_serve.json
+	@echo "wrote BENCH_serve.json"
 
 # The concurrency experiment: QPS/latency vs. worker count and the
 # 1-worker exactness verification against the serial E12 run.

@@ -1,0 +1,71 @@
+package bufir
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// The ctx-less Engine forms are documented as exact aliases of their
+// Context variants. The two behaviors worth a regression test are the
+// ones a thin wrapper could plausibly get wrong: admission shedding
+// (ErrQueueFull) and the post-Close path (ErrEngineClosed) must
+// surface through Search and Submit exactly as through their Context
+// forms.
+func TestCtxlessAliasesQueueFullAndClosed(t *testing.T) {
+	col, ix := testIndex(t)
+	q, err := ix.TopicQuery(col.Topics[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One slow worker, a one-deep queue: with the worker occupied and
+	// the queue full, the next ctx-less Submit must shed.
+	ix.SetSimulatedReadLatency(5 * time.Millisecond)
+	eng, err := ix.NewEngine(EngineConfig{Workers: 1, MaxQueue: 1, BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tickets []*Ticket
+	sawFull := false
+	for i := 0; i < 50 && !sawFull; i++ {
+		tk, err := eng.Submit(i, q)
+		switch {
+		case err == nil:
+			tickets = append(tickets, tk)
+		case errors.Is(err, ErrQueueFull):
+			sawFull = true
+		default:
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	if !sawFull {
+		t.Error("ctx-less Submit never shed with a full queue")
+	}
+	for _, tk := range tickets {
+		if _, err := tk.Wait(); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-Close, both ctx-less forms fail with the sentinel.
+	if _, err := eng.Search(0, q); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("Search after Close: %v, want ErrEngineClosed", err)
+	}
+	if _, err := eng.Submit(0, q); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("Submit after Close: %v, want ErrEngineClosed", err)
+	}
+
+	// And the shed requests were counted, not lost: Queries covers the
+	// admitted ones only, Shed the rejected one.
+	st := eng.Stats()
+	if st.Shed == 0 {
+		t.Error("Shed counter did not record the queue-full rejection")
+	}
+	if st.Queries != int64(len(tickets)) {
+		t.Errorf("Queries = %d, want %d admitted", st.Queries, len(tickets))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"bufir/internal/buffer"
 	"bufir/internal/codec"
@@ -410,6 +411,27 @@ func (ix *Index) PageSize() int { return ix.ix.PageSize }
 // disk across all sessions of this index.
 func (ix *Index) DiskReads() int64 { return ix.store.Reads() }
 
+// SetSimulatedReadLatency makes every page read of an in-memory
+// (simulated-disk) index take d of wall time — the benchmarking knob
+// that puts experiments in the I/O-bound regime the paper's cost model
+// describes. It looks through fault-injection layers and returns false
+// (doing nothing) for file-backed indexes, whose reads cost what the
+// hardware charges.
+func (ix *Index) SetSimulatedReadLatency(d time.Duration) bool {
+	st := ix.store
+	for {
+		switch s := st.(type) {
+		case *storage.Store:
+			s.SetReadLatency(d)
+			return true
+		case *storage.FaultStore:
+			st = s.Inner()
+		default:
+			return false
+		}
+	}
+}
+
 // ResetDiskReads zeroes the disk-read counter.
 func (ix *Index) ResetDiskReads() { ix.store.ResetReads() }
 
@@ -539,6 +561,11 @@ type SessionConfig struct {
 	Policy Policy
 	// BufferPages is the buffer pool size in pages (default 128).
 	BufferPages int
+	// Fault configures the session pool's fault-tolerant I/O path
+	// (retry/backoff on failed page loads), sharing EngineConfig's
+	// option set. Zero value: loads fail on the first error — the
+	// historical semantics, at zero cost.
+	Fault FaultToleranceOptions
 }
 
 // Session is a search session: an Index plus a private buffer pool.
@@ -552,33 +579,25 @@ type Session struct {
 
 // NewSession creates a session over the index.
 func (ix *Index) NewSession(cfg SessionConfig) (*Session, error) {
-	if cfg.BufferPages == 0 {
-		cfg.BufferPages = 128
-	}
-	if cfg.Policy == "" {
-		cfg.Policy = LRU
-	}
-	newPolicy, err := policyFactory(cfg.Policy)
+	rc, err := resolveConfig(cfg.EvalOptions, cfg.Policy, cfg.BufferPages, LRU, eval.PaperParams())
 	if err != nil {
 		return nil, err
 	}
-	pol := newPolicy()
-	params, err := cfg.params(eval.PaperParams())
+	mgr, err := buffer.NewManager(rc.bufferPages, ix.store, ix.ix, rc.newPolicy())
 	if err != nil {
 		return nil, err
 	}
-	mgr, err := buffer.NewManager(cfg.BufferPages, ix.store, ix.ix, pol)
-	if err != nil {
-		return nil, err
-	}
-	ev, err := eval.NewEvaluator(ix.ix, mgr, ix.conv, params)
+	applyFaultOptions(mgr, cfg.Fault, nil)
+	ev, err := eval.NewEvaluator(ix.ix, mgr, ix.conv, rc.params)
 	if err != nil {
 		return nil, err
 	}
 	return &Session{ix: ix, ev: ev, mgr: mgr, algo: cfg.Algorithm}, nil
 }
 
-// Search evaluates a query and returns the ranked answer with
+// Search is an exact alias of SearchContext with context.Background():
+// identical evaluation on every path — the only difference is that a
+// background context never cancels. It returns the ranked answer with
 // execution statistics.
 func (s *Session) Search(q Query) (*Result, error) {
 	return s.SearchContext(context.Background(), q)

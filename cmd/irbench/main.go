@@ -11,9 +11,9 @@
 // -exp is a comma-separated subset of:
 //
 //	fig3 fig4 table4 table5 table12 table6 fig5 fig6 table7 fig7 fig8
-//	multiuser concurrency lifecycle faults obs ablations baselines
-//	compression feedback docsorted weblegend boolean dualbuf summary
-//	effect refine-incr
+//	multiuser concurrency lifecycle faults obs shards ablations
+//	baselines compression feedback docsorted weblegend boolean dualbuf
+//	summary effect refine-incr
 //
 // (fig56/fig78 are aliases for the figure pairs; default "all").
 // concurrency sweeps -workers over the E12 workload with -cusers
@@ -35,6 +35,12 @@
 // term at a time against an engine with incremental refinement
 // enabled, comparing each ADD-ONLY resubmission (accumulator-snapshot
 // resume, result cache) with a cold evaluation of the same query.
+// shards sweeps the document-partitioned serving tier over
+// -shardcounts partitions (E25): the E21-style workload with -cusers
+// sessions and -disklat read latency runs through the public
+// scatter-gather Router, reporting QPS, p50/p99 and speedup; with
+// -benchjson FILE the sweep is persisted as JSON (make bench-serve
+// writes BENCH_serve.json this way).
 package main
 
 import (
@@ -71,6 +77,9 @@ func main() {
 		obsaddr   = flag.String("obsaddr", "127.0.0.1:0", "listen address of the obs experiment's metrics endpoint")
 		obshold   = flag.Duration("obshold", 0, "keep the obs experiment's endpoint up this long after the run")
 		faultseed = flag.Int64("faultseed", 1998, "seed of the faults experiment's fault schedule")
+		shardcnts = flag.String("shardcounts", "1,2,4,8,16", "shard counts swept by the shards experiment")
+		passes    = flag.Int("passes", 2, "workload passes per user in the shards experiment")
+		benchjson = flag.String("benchjson", "", "write machine-readable results of JSON-capable experiments to this file")
 	)
 	flag.Parse()
 
@@ -157,6 +166,21 @@ func main() {
 				fmt.Fprintf(w, "[csv written to %s]\n", path)
 			}
 		}
+		if *benchjson != "" {
+			if jw, ok := res.(interface{ WriteBenchJSON(io.Writer) error }); ok {
+				f, err := os.Create(*benchjson)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := jw.WriteBenchJSON(f); err != nil {
+					log.Fatalf("%s: json: %v", name, err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Fprintf(w, "[json written to %s]\n", *benchjson)
+			}
+		}
 		fmt.Fprintf(w, "[%s completed in %v]\n", name, time.Since(t0).Round(time.Millisecond))
 		div()
 	}
@@ -190,6 +214,9 @@ func main() {
 	})
 	run("obs", func() (formatter, error) {
 		return env.RunObs(*obsaddr, *cusers, 4, *cshards, *disklat, *points, *obshold)
+	})
+	run("shards", func() (formatter, error) {
+		return runShards(env, *cusers, 4, *passes, parseWorkers(*shardcnts), *disklat)
 	})
 	run("ablations", func() (formatter, error) { return env.RunAblations() })
 	run("baselines", func() (formatter, error) { return env.RunBaselines(*points) })

@@ -161,33 +161,23 @@ func (ix *Index) NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.Shards == 0 {
 		cfg.Shards = 1
 	}
-	if cfg.BufferPages == 0 {
-		cfg.BufferPages = 128
-	}
-	if cfg.Policy == "" {
-		cfg.Policy = RAP
-	}
-	newPolicy, err := policyFactory(cfg.Policy)
+	rc, err := resolveConfig(cfg.EvalOptions, cfg.Policy, cfg.BufferPages, RAP, eval.TunedParams())
 	if err != nil {
 		return nil, err
 	}
 	var pool *buffer.SharedPool
 	if cfg.Shards == 1 {
-		pool, err = buffer.NewSharedPool(cfg.BufferPages, ix.store, ix.ix, newPolicy())
+		pool, err = buffer.NewSharedPool(rc.bufferPages, ix.store, ix.ix, rc.newPolicy())
 	} else {
-		pool, err = buffer.NewShardedSharedPool(cfg.BufferPages, cfg.Shards, ix.store, ix.ix, newPolicy)
+		pool, err = buffer.NewShardedSharedPool(rc.bufferPages, cfg.Shards, ix.store, ix.ix, rc.newPolicy)
 	}
-	if err != nil {
-		return nil, err
-	}
-	params, err := cfg.params(eval.TunedParams())
 	if err != nil {
 		return nil, err
 	}
 	inner, err := engine.New(ix.ix, ix.conv, pool, engine.Config{
 		Workers:      cfg.Workers,
 		Algo:         cfg.Algorithm,
-		Params:       params,
+		Params:       rc.params,
 		MaxQueue:     cfg.MaxQueue,
 		QueryTimeout: cfg.QueryTimeout,
 		OnDeadline:   cfg.OnDeadline,
@@ -199,18 +189,9 @@ func (ix *Index) NewEngine(cfg EngineConfig) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	ft := cfg.Fault
-	if ft != (FaultToleranceOptions{}) {
-		// Installed after engine.New so the OnRetry hook can feed the
-		// serving counters, but before any request can run.
-		pool.SetRetryPolicy(buffer.RetryPolicy{
-			MaxRetries: ft.Retries,
-			Backoff:    ft.RetryBackoff,
-			BackoffMax: ft.RetryBackoffMax,
-			VictimWait: ft.VictimWait,
-			OnRetry:    inner.RecordRetry,
-		})
-	}
+	// Installed after engine.New so the OnRetry hook can feed the
+	// serving counters, but before any request can run.
+	applyFaultOptions(pool, cfg.Fault, inner.RecordRetry)
 	e := &Engine{inner: inner, pool: pool}
 	if cfg.Obs.Addr != "" {
 		srv, err := obs.StartHTTPServer(cfg.Obs.Addr, inner)
@@ -238,11 +219,14 @@ func policyFactory(p Policy) (func() buffer.Policy, error) {
 	}
 }
 
-// Search executes one request for the user, blocking until its result
-// is ready. Calls for the same user from one goroutine execute in
-// call order.
+// Search is an exact alias of SearchContext with context.Background():
+// same admission, ordering, queue-full shedding (ErrQueueFull with
+// MaxQueue set) and post-Close (ErrEngineClosed) behavior — the only
+// difference is that a background context never cancels. It blocks
+// until the result is ready; calls for the same user from one
+// goroutine execute in call order.
 func (e *Engine) Search(user int, q Query) (*Result, error) {
-	return e.inner.Search(user, q)
+	return e.SearchContext(context.Background(), user, q)
 }
 
 // SearchContext is Search bound to a context: canceling it stops the
@@ -252,7 +236,10 @@ func (e *Engine) SearchContext(ctx context.Context, user int, q Query) (*Result,
 	return e.inner.SearchContext(ctx, user, q)
 }
 
-// Submit enqueues a request and returns immediately with a Ticket.
+// Submit is an exact alias of SubmitContext with context.Background():
+// same admission path, including ErrQueueFull when MaxQueue is set and
+// the queue is at capacity, and ErrEngineClosed after Close — the only
+// difference is that a background context never cancels the request.
 func (e *Engine) Submit(user int, q Query) (*Ticket, error) {
 	return e.SubmitContext(context.Background(), user, q)
 }
@@ -306,12 +293,15 @@ func (e *Engine) ObsAddr() string {
 
 // Close drains pending requests, stops the workers, and withdraws all
 // sessions from the shared query registry, waiting as long as the
-// drain takes. Idempotent.
-func (e *Engine) Close() {
+// drain takes. The returned error is the observability listener's
+// shutdown error, if one was configured; the drain itself cannot fail.
+// Idempotent.
+func (e *Engine) Close() error {
 	e.inner.Close()
 	if e.obs != nil {
-		_ = e.obs.Close()
+		return e.obs.Close()
 	}
+	return nil
 }
 
 // Shutdown is Close with a deadline: admission stops immediately, and

@@ -260,7 +260,9 @@ func Load(r io.Reader) (*postings.Index, [][]postings.Entry, *Aux, error) {
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		if df == 0 || numPages == 0 || numPages > df {
+		// numPages == 0 is legal: a shard file keeps the global DF of a
+		// term whose postings all live in other partitions.
+		if df == 0 || numPages > df {
 			return nil, nil, nil, fmt.Errorf("indexfile: term %q invalid df=%d pages=%d", name, df, numPages)
 		}
 		tm := postings.TermMeta{

@@ -346,7 +346,9 @@ func decodeMeta(data []byte) (*postings.Index, *Aux, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		if df == 0 || numPages == 0 || numPages > df {
+		// numPages == 0 is legal: a shard file keeps the global DF of a
+		// term whose postings all live in other partitions.
+		if df == 0 || numPages > df {
 			return nil, nil, fmt.Errorf("indexfile: term %q invalid df=%d pages=%d", name, df, numPages)
 		}
 		// Each page still owes two varints (min/max frequency), so the

@@ -1,0 +1,93 @@
+package indexfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Format identifies an index-file format by its magic.
+type Format int
+
+const (
+	// FormatUnknown is any file that is not a bufir index.
+	FormatUnknown Format = iota
+	// FormatBlob is the single-blob format (magic "BUFIR1\n",
+	// SaveFile/LoadFile): the whole index decodes into memory on open.
+	FormatBlob
+	// FormatPaged is the paged format (magic "BUFIR2\n",
+	// WritePageFile/OpenPageFile): pages served on demand from disk.
+	FormatPaged
+)
+
+// Sniff reports which index format the file holds by its 7-byte magic,
+// without reading further. FormatUnknown (and no error) means the file
+// exists but is not a bufir index.
+func Sniff(path string) (Format, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return FormatUnknown, err
+	}
+	defer f.Close()
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(f, head); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return FormatUnknown, nil
+		}
+		return FormatUnknown, err
+	}
+	switch string(head) {
+	case magic:
+		return FormatBlob, nil
+	case magic2:
+		return FormatPaged, nil
+	}
+	return FormatUnknown, nil
+}
+
+// ShardFileName returns the canonical file name of partition i of an
+// n-way document-partitioned index: "shard-0003-of-0008.bufir". The
+// fixed-width numbering keeps a directory listing in partition order.
+func ShardFileName(i, n int) string {
+	return fmt.Sprintf("shard-%04d-of-%04d.bufir", i, n)
+}
+
+// ShardFiles lists the shard files of a partitioned index directory in
+// partition order, validating that the set is complete and consistent:
+// every file present declares the same partition count n, and all n
+// partitions are present exactly once.
+func ShardFiles(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "shard-*-of-*.bufir"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("indexfile: no shard files in %s", dir)
+	}
+	sort.Strings(matches)
+	var total int
+	seen := make(map[int]bool)
+	for _, m := range matches {
+		var i, n int
+		base := filepath.Base(m)
+		if _, err := fmt.Sscanf(strings.TrimSuffix(base, ".bufir"), "shard-%d-of-%d", &i, &n); err != nil {
+			return nil, fmt.Errorf("indexfile: bad shard file name %q", base)
+		}
+		if total == 0 {
+			total = n
+		} else if n != total {
+			return nil, fmt.Errorf("indexfile: mixed partition counts in %s (%d and %d)", dir, total, n)
+		}
+		if i < 0 || i >= n || seen[i] {
+			return nil, fmt.Errorf("indexfile: bad or duplicate partition %d of %d in %s", i, n, dir)
+		}
+		seen[i] = true
+	}
+	if len(matches) != total {
+		return nil, fmt.Errorf("indexfile: %s holds %d of %d partitions", dir, len(matches), total)
+	}
+	return matches, nil
+}

@@ -30,6 +30,32 @@ type Snapshot struct {
 	RetryWait HistogramSnapshot
 	// Buffer is the shared buffer pool's live state.
 	Buffer BufferSnapshot
+	// Shards holds per-shard serving gauges when the snapshot comes
+	// from a scatter-gather router over document partitions; empty for
+	// a single engine. The router's own Serving counters count routed
+	// requests once — the per-shard numbers here sum higher because
+	// every routed request fans out to all shards.
+	Shards []ShardGauge `json:",omitempty"`
+}
+
+// ShardGauge is one document partition's serving state as seen by the
+// router fronting it: the shard's outcome counters plus its buffer
+// pool's miss count (the paper's disk-read metric, per partition).
+type ShardGauge struct {
+	// Shard is the partition number.
+	Shard int
+	// Outcome counters of the shard's backend (its own Stats).
+	Queries   int64
+	Completed int64
+	Timeouts  int64
+	Canceled  int64
+	Errors    int64
+	Degraded  int64
+	// PagesRead is the shard's disk-read count.
+	PagesRead int64
+	// BufferMisses is the shard pool's miss counter when the backend
+	// exposes a full snapshot (an Engine); -1 when unavailable.
+	BufferMisses int64
 }
 
 // EngineGauges are the engine's live (instantaneous) gauges, as

@@ -77,6 +77,30 @@ func writeMetrics(w io.Writer, s obs.Snapshot) {
 		}
 	}
 
+	// Per-shard serving gauges (scatter-gather router only). These sum
+	// higher than the router's own counters: every routed request fans
+	// out to all shards.
+	if len(s.Shards) > 0 {
+		shardCounter := func(name, help string, get func(obs.ShardGauge) int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, sg := range s.Shards {
+				fmt.Fprintf(w, "%s{shard=\"%d\"} %d\n", name, sg.Shard, get(sg))
+			}
+		}
+		shardCounter("bufir_shard_queries_total", "Per-shard requests executed (router fan-out).",
+			func(g obs.ShardGauge) int64 { return g.Queries })
+		shardCounter("bufir_shard_completed_total", "Per-shard requests that ran to completion.",
+			func(g obs.ShardGauge) int64 { return g.Completed })
+		shardCounter("bufir_shard_timeouts_total", "Per-shard requests cut by a shard deadline.",
+			func(g obs.ShardGauge) int64 { return g.Timeouts })
+		shardCounter("bufir_shard_errors_total", "Per-shard requests failed with a non-context error.",
+			func(g obs.ShardGauge) int64 { return g.Errors })
+		shardCounter("bufir_shard_degraded_total", "Per-shard requests degraded by I/O faults.",
+			func(g obs.ShardGauge) int64 { return g.Degraded })
+		shardCounter("bufir_shard_pages_read_total", "Per-shard inverted-list pages read from disk.",
+			func(g obs.ShardGauge) int64 { return g.PagesRead })
+	}
+
 	writeHistogram(w, "bufir_queue_wait_seconds",
 		"Submit-to-execution wait time.", s.QueueWait)
 	writeHistogram(w, "bufir_service_seconds",

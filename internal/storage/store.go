@@ -49,11 +49,6 @@ type PageStore interface {
 	NumPages() int
 }
 
-// PageSource is the historical name of PageStore.
-//
-// Deprecated: use PageStore.
-type PageSource = PageStore
-
 // Store is a paged read-only store of inverted-list pages, indexed by
 // PageID. The page slice is immutable after construction, so reads
 // take no lock at all — the store is safe for any degree of

@@ -3,9 +3,11 @@ package bufir
 import (
 	"context"
 	"sync"
+	"time"
 
 	"bufir/internal/buffer"
 	"bufir/internal/eval"
+	"bufir/internal/metrics"
 )
 
 // SharedSessionPool is a buffer pool served to several concurrent user
@@ -23,16 +25,14 @@ type SharedSessionPool struct {
 }
 
 // NewSharedSessionPool creates a shared pool of the given page
-// capacity over the index.
+// capacity over the index (0 selects the default of 128 pages; an
+// empty policy defaults to RAP, the natural choice for a shared pool).
 func (ix *Index) NewSharedSessionPool(bufferPages int, policy Policy) (*SharedSessionPool, error) {
-	if policy == "" {
-		policy = RAP
-	}
-	newPolicy, err := policyFactory(policy)
+	rc, err := resolveConfig(EvalOptions{}, policy, bufferPages, RAP, eval.TunedParams())
 	if err != nil {
 		return nil, err
 	}
-	pool, err := buffer.NewSharedPool(bufferPages, ix.store, ix.ix, newPolicy())
+	pool, err := buffer.NewSharedPool(rc.bufferPages, ix.store, ix.ix, rc.newPolicy())
 	if err != nil {
 		return nil, err
 	}
@@ -41,10 +41,12 @@ func (ix *Index) NewSharedSessionPool(bufferPages int, policy Policy) (*SharedSe
 
 // NewSession creates a session whose queries run against the shared
 // pool. Close the session when the user leaves so its query weights
-// stop protecting pages. Only cfg's EvalOptions apply here (the pool
-// already fixed its policy and capacity); with CAdd and CIns both
-// zero, shared-pool sessions default to the collection-tuned
-// constants, like the Engine they underpin.
+// stop protecting pages. Only cfg's EvalOptions and Fault apply here
+// (the pool already fixed its policy and capacity); with CAdd and CIns
+// both zero, shared-pool sessions default to the collection-tuned
+// constants, like the Engine they underpin. Non-zero Fault options
+// install the pool's retry/backoff policy — the pool is shared, so the
+// last session to set them wins for everyone.
 func (sp *SharedSessionPool) NewSession(cfg SessionConfig) (*SharedSession, error) {
 	params, err := cfg.params(eval.TunedParams())
 	if err != nil {
@@ -59,6 +61,7 @@ func (sp *SharedSessionPool) NewSession(cfg SessionConfig) (*SharedSession, erro
 	if err != nil {
 		return nil, err
 	}
+	applyFaultOptions(sp.pool, cfg.Fault, nil)
 	return &SharedSession{ev: ev, view: view, algo: cfg.Algorithm}, nil
 }
 
@@ -74,24 +77,62 @@ func (sp *SharedSessionPool) BufferStats() BufferStats {
 // must still be driven by one goroutine at a time — its refinement
 // steps build on each other; use Engine for a managed worker pool
 // that enforces per-user ordering automatically.
+//
+// SharedSession implements Searcher, so a session can stand in
+// anywhere a serving backend is expected.
 type SharedSession struct {
-	ev   *eval.Evaluator
-	view *buffer.UserView
-	algo Algorithm
+	ev       *eval.Evaluator
+	view     *buffer.UserView
+	algo     Algorithm
+	counters metrics.ServingCounters
 }
 
-// Search evaluates a query against the shared pool.
+// Search is an exact alias of SearchContext with context.Background()
+// and user 0: identical evaluation and identical serving-counter
+// effects — the only difference is that a background context never
+// cancels.
 func (s *SharedSession) Search(q Query) (*Result, error) {
-	return s.SearchContext(context.Background(), q)
+	return s.SearchContext(context.Background(), 0, q)
 }
 
-// SearchContext is Search bound to a context: canceling it (or an
-// expiring deadline) stops the evaluation within one page read, with
-// every shared-pool frame unpinned; the anytime partial answer is
-// returned alongside the context's error (Result.Partial set).
-func (s *SharedSession) SearchContext(ctx context.Context, q Query) (*Result, error) {
-	return s.ev.EvaluateContext(ctx, s.algo, q)
+// SearchContext evaluates a query against the shared pool under ctx:
+// canceling it (or an expiring deadline) stops the evaluation within
+// one page read, with every shared-pool frame unpinned; the anytime
+// partial answer is returned alongside the context's error
+// (Result.Partial set).
+//
+// The user argument exists for the Searcher contract and is otherwise
+// ignored: a SharedSession is already bound to one pool identity (its
+// registry view), fixed at NewSession. Callers holding a bare session
+// pass 0; a Router fanning out over sessions passes its request's
+// user, which the session accepts and disregards.
+func (s *SharedSession) SearchContext(ctx context.Context, user int, q Query) (*Result, error) {
+	_ = user // identity is fixed by the pool's registry view
+	start := time.Now()
+	res, err := s.ev.EvaluateContext(ctx, s.algo, q)
+	recordOutcome(&s.counters, res, err, time.Since(start))
+	return res, err
 }
 
-// Close withdraws the session's query from the shared registry.
-func (s *SharedSession) Close() { s.view.Close() }
+// RefineContext is an exact alias of SearchContext: a SharedSession
+// keeps no cross-submission refinement state (snapshot resume and the
+// result cache live in the Engine), so the refinement path and the
+// plain path are the same evaluation. It exists for the Searcher
+// contract.
+func (s *SharedSession) RefineContext(ctx context.Context, user int, q Query) (*Result, error) {
+	return s.SearchContext(ctx, user, q)
+}
+
+// Stats returns the session's serving counters. They obey the same
+// outcome invariant as the Engine's: Queries == Completed + Timeouts +
+// Canceled + Errors + Degraded at quiescence, with Partials counting
+// the timed-out requests that carried an anytime answer.
+func (s *SharedSession) Stats() EngineStats { return s.counters.Snapshot() }
+
+// Close withdraws the session's query from the shared registry. It
+// always returns nil; the error return exists for the Searcher
+// contract. Idempotent.
+func (s *SharedSession) Close() error {
+	s.view.Close()
+	return nil
+}

@@ -1,0 +1,144 @@
+package bufir
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"bufir/internal/buffer"
+	"bufir/internal/eval"
+	"bufir/internal/metrics"
+)
+
+// Searcher is the backend-neutral serving contract implemented by
+// every way of answering queries concurrently: the worker-pool Engine,
+// a SharedSession on a SharedSessionPool, and the scatter-gather
+// Router over document partitions. Code that serves queries — cmd
+// binaries, the HTTP tier, experiments — programs against Searcher and
+// runs unchanged over a single engine or a sharded deployment.
+//
+// The contract, shared by all implementations:
+//
+//   - SearchContext executes one request for the user under ctx.
+//     Canceling ctx (or an expiring deadline) stops the request within
+//     one page read; the anytime partial answer may be returned
+//     alongside the context's error, or in place of it, per the
+//     implementation's deadline policy.
+//   - RefineContext is SearchContext routed through the refinement
+//     path where the implementation has one (Engine with
+//     EngineConfig.Refine); implementations without refinement state
+//     document it as an exact alias of SearchContext.
+//   - Stats returns the implementation's serving counters. At
+//     quiescence every executed request lands in exactly one outcome
+//     bucket: Queries == Completed + Timeouts + Canceled + Errors +
+//     Degraded (Shed is disjoint; Partials ⊆ Timeouts).
+//   - Close releases the searcher's resources (worker pools, registry
+//     entries, listeners). Idempotent.
+type Searcher interface {
+	SearchContext(ctx context.Context, user int, q Query) (*Result, error)
+	RefineContext(ctx context.Context, user int, q Query) (*Result, error)
+	Stats() EngineStats
+	Close() error
+}
+
+// Compile-time conformance: the three serving surfaces stay on the
+// shared contract.
+var (
+	_ Searcher = (*Engine)(nil)
+	_ Searcher = (*SharedSession)(nil)
+	_ Searcher = (*Router)(nil)
+	_ Searcher = (*Service)(nil)
+)
+
+// resolvedConfig is the output of resolveConfig: every defaulted knob
+// a construction path needs to build its pool and evaluator.
+type resolvedConfig struct {
+	params      eval.Params
+	bufferPages int
+	newPolicy   func() buffer.Policy
+}
+
+// resolveConfig is the single defaulting path for the construction
+// knobs shared by Sessions, shared-pool sessions, and Engines: buffer
+// capacity (default 128 pages), replacement policy (defaultPolicy when
+// unset — LRU for private sessions, RAP for shared pools), and the
+// evaluation parameters via EvalOptions.params with the caller's
+// filtering-constant fallback. Every public constructor routes through
+// here, so policy resolution and parameter validation exist in exactly
+// one place.
+func resolveConfig(o EvalOptions, policy Policy, bufferPages int, defaultPolicy Policy, fallback eval.Params) (resolvedConfig, error) {
+	if bufferPages == 0 {
+		bufferPages = 128
+	}
+	if policy == "" {
+		policy = defaultPolicy
+	}
+	newPolicy, err := policyFactory(policy)
+	if err != nil {
+		return resolvedConfig{}, err
+	}
+	params, err := o.params(fallback)
+	if err != nil {
+		return resolvedConfig{}, err
+	}
+	return resolvedConfig{params: params, bufferPages: bufferPages, newPolicy: newPolicy}, nil
+}
+
+// recordOutcome classifies one request's (result, error) into the
+// serving counters, mirroring the Engine worker's bucketing so Stats
+// reads the same regardless of backend: exactly one outcome bucket per
+// request (Completed, Timeouts, Canceled, Errors, or Degraded), cost
+// counters charged for whatever actually ran, Partials marking the
+// timed-out requests that carried an anytime answer. SharedSession and
+// Router both record through here.
+func recordOutcome(c *metrics.ServingCounters, res *Result, err error, service time.Duration) {
+	c.Queries.Add(1)
+	c.ServiceNanos.Add(int64(service))
+	if res != nil {
+		c.PagesRead.Add(int64(res.PagesRead))
+		c.PagesProcessed.Add(int64(res.PagesProcessed))
+		c.EntriesProcessed.Add(int64(res.EntriesProcessed))
+		c.Faults.Add(int64(res.Faults))
+	}
+	switch {
+	case err == nil && res != nil && res.Degraded:
+		c.Degraded.Add(1)
+	case err == nil:
+		c.Completed.Add(1)
+		c.CompletedServiceNanos.Add(int64(service))
+	case errors.Is(err, context.DeadlineExceeded):
+		c.Timeouts.Add(1)
+		if res != nil {
+			c.Partials.Add(1)
+		}
+	case errors.Is(err, context.Canceled):
+		c.Canceled.Add(1)
+	default:
+		c.Errors.Add(1)
+	}
+}
+
+// retryTarget is any buffer layer that accepts a retry policy; both
+// the private Manager and the SharedPool do.
+type retryTarget interface {
+	SetRetryPolicy(buffer.RetryPolicy)
+}
+
+// applyFaultOptions wires FaultToleranceOptions onto a buffer layer.
+// The zero options install nothing, keeping the historical fail-fast
+// semantics at zero cost. onRetry, when non-nil, observes each retry's
+// backoff wait (the Engine feeds its serving counters through it).
+// This is the single place fault wiring happens for every
+// construction path.
+func applyFaultOptions(t retryTarget, ft FaultToleranceOptions, onRetry func(wait time.Duration)) {
+	if ft == (FaultToleranceOptions{}) {
+		return
+	}
+	t.SetRetryPolicy(buffer.RetryPolicy{
+		MaxRetries: ft.Retries,
+		Backoff:    ft.RetryBackoff,
+		BackoffMax: ft.RetryBackoffMax,
+		VictimWait: ft.VictimWait,
+		OnRetry:    onRetry,
+	})
+}

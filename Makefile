@@ -15,9 +15,9 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 STATICCHECK := $(shell $(GO) env GOPATH)/bin/staticcheck
 
-.PHONY: ci lint depgraph vet build test race leaks fuzz-seeds fuzz bench cover concurrency obs faults chaos refine-incr storetest bench-store bench-serve
+.PHONY: ci lint depgraph vet build test race leaks fuzz-seeds fuzz bench cover concurrency obs faults chaos refine-incr storetest bench-store bench-serve policy-conformance bench-policy
 
-ci: lint depgraph build test race leaks fuzz-seeds faults-smoke storetest bench-store bench-serve cover
+ci: lint depgraph build test race leaks fuzz-seeds faults-smoke storetest policy-conformance bench-store bench-serve bench-policy cover
 
 lint:
 	@if [ -x "$(STATICCHECK)" ] || $(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) 2>/dev/null; then \
@@ -136,6 +136,27 @@ bench-store:
 bench-serve:
 	@$(GO) run ./cmd/irbench -exp shards -benchjson BENCH_serve.json
 	@echo "wrote BENCH_serve.json"
+
+# Replacement-policy family gate under -race: the cross-policy
+# conformance suite (every registered policy held to the same
+# Victim/Removed/pin/Flush contract), the 2Q ghost-hygiene and
+# bounded-memory regressions, the ADAPTIVE unit tests, the E26 drift
+# smoke/determinism tests, and the root-level end-to-end family tests
+# (all six policies through Session/Engine/SharedSessionPool/Router
+# with bit-identical 1-worker replay).
+policy-conformance:
+	$(GO) test -race -count=1 \
+		-run 'TestPolicyConformance|TestTwoQ|TestAdaptive|TestGhostList|TestPolicyStats|TestDrift|TestPolicyFamily' \
+		./internal/buffer ./internal/experiments .
+
+# The workload-drift sweep (E26): every replacement policy through one
+# continuous refine -> churn -> fault-storm stream per buffer size,
+# persisting per-phase disk reads and the ADAPTIVE acceptance verdict
+# (tracks the winning static expert in each phase while each static
+# policy loses one) as BENCH_policy.json for CI trend tracking.
+bench-policy:
+	@$(GO) run ./cmd/irbench -exp drift -benchjson BENCH_policy.json
+	@echo "wrote BENCH_policy.json"
 
 # The concurrency experiment: QPS/latency vs. worker count and the
 # 1-worker exactness verification against the serial E12 run.

@@ -11,7 +11,7 @@
 // -exp is a comma-separated subset of:
 //
 //	fig3 fig4 table4 table5 table12 table6 fig5 fig6 table7 fig7 fig8
-//	multiuser concurrency lifecycle faults obs shards ablations
+//	multiuser concurrency lifecycle faults obs shards drift ablations
 //	baselines compression feedback docsorted weblegend boolean dualbuf
 //	summary effect refine-incr
 //
@@ -35,6 +35,14 @@
 // term at a time against an engine with incremental refinement
 // enabled, comparing each ADD-ONLY resubmission (accumulator-snapshot
 // resume, result cache) with a cold evaluation of the same query.
+// drift runs every replacement policy through one continuous
+// three-phase stream — refinement bursts, a cold rotating-hot-set
+// churn, then the same churn under a seeded transient-fault storm
+// (-faultseed) — per buffer size, without flushing between phases,
+// comparing per-phase disk reads; the LeCaR-style ADAPTIVE policy
+// must track the winning static expert in each phase. With -benchjson
+// FILE the sweep and acceptance verdict are persisted as JSON (make
+// bench-policy writes BENCH_policy.json this way).
 // shards sweeps the document-partitioned serving tier over
 // -shardcounts partitions (E25): the E21-style workload with -cusers
 // sessions and -disklat read latency runs through the public
@@ -217,6 +225,9 @@ func main() {
 	})
 	run("shards", func() (formatter, error) {
 		return runShards(env, *cusers, 4, *passes, parseWorkers(*shardcnts), *disklat)
+	})
+	run("drift", func() (formatter, error) {
+		return env.RunDrift(*points, uint64(*faultseed))
 	})
 	run("ablations", func() (formatter, error) { return env.RunAblations() })
 	run("baselines", func() (formatter, error) { return env.RunBaselines(*points) })

@@ -167,7 +167,7 @@ func (ix *Index) NewEngine(cfg EngineConfig) (*Engine, error) {
 	}
 	var pool *buffer.SharedPool
 	if cfg.Shards == 1 {
-		pool, err = buffer.NewSharedPool(rc.bufferPages, ix.store, ix.ix, rc.newPolicy())
+		pool, err = buffer.NewSharedPool(rc.bufferPages, ix.store, ix.ix, rc.newPolicy(rc.bufferPages))
 	} else {
 		pool, err = buffer.NewShardedSharedPool(rc.bufferPages, cfg.Shards, ix.store, ix.ix, rc.newPolicy)
 	}
@@ -205,18 +205,17 @@ func (ix *Index) NewEngine(cfg EngineConfig) (*Engine, error) {
 }
 
 // policyFactory maps a Policy name to a constructor of fresh policy
-// instances (sharded pools need one instance per shard).
-func policyFactory(p Policy) (func() buffer.Policy, error) {
-	switch p {
-	case LRU:
-		return func() buffer.Policy { return buffer.NewLRU() }, nil
-	case MRU:
-		return func() buffer.Policy { return buffer.NewMRU() }, nil
-	case RAP:
-		return func() buffer.Policy { return buffer.NewRAP() }, nil
-	default:
+// instances (sharded pools need one instance per shard, each built
+// with its shard's capacity slice). It delegates to the canonical
+// buffer.PolicyFactory, so every name the buffer layer implements —
+// including LRU-2, 2Q, and ADAPTIVE — is reachable from every public
+// construction surface.
+func policyFactory(p Policy) (func(capacity int) buffer.Policy, error) {
+	f, err := buffer.PolicyFactory(string(p))
+	if err != nil {
 		return nil, fmt.Errorf("%w %q", ErrUnknownPolicy, p)
 	}
+	return f, nil
 }
 
 // Search is an exact alias of SearchContext with context.Background():

@@ -108,7 +108,7 @@ func TestLoaderRetriesTransientFaults(t *testing.T) {
 				}
 				pool = m
 			} else {
-				m, err := NewShardedManager(4, 1, fs, ix, func() Policy { return NewLRU() })
+				m, err := NewShardedManager(4, 1, fs, ix, func(int) Policy { return NewLRU() })
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -150,7 +150,7 @@ func TestRetryBudgetExhausted(t *testing.T) {
 			if serial {
 				pool, _ = NewManager(4, fs, ix, NewLRU())
 			} else {
-				pool, _ = NewShardedManager(4, 1, fs, ix, func() Policy { return NewLRU() })
+				pool, _ = NewShardedManager(4, 1, fs, ix, func(int) Policy { return NewLRU() })
 			}
 			pool.SetRetryPolicy(quickRetry(2, nil))
 			if _, _, err := pool.Fetch(0); !errors.Is(err, errFlaky) {
@@ -171,7 +171,7 @@ func TestRetryBudgetExhausted(t *testing.T) {
 func TestPermanentFaultNotRetried(t *testing.T) {
 	ix, st := testEnv(t)
 	fs := &flakyStore{inner: st, perm: true, fail: map[postings.PageID]int{0: 100}}
-	m, _ := NewShardedManager(4, 1, fs, ix, func() Policy { return NewLRU() })
+	m, _ := NewShardedManager(4, 1, fs, ix, func(int) Policy { return NewLRU() })
 	var retries atomic.Int64
 	m.SetRetryPolicy(quickRetry(5, func(time.Duration) { retries.Add(1) }))
 	_, _, err := m.Fetch(0)
@@ -193,7 +193,7 @@ func TestPermanentFaultNotRetried(t *testing.T) {
 func TestWaiterReattemptsFailedLoad(t *testing.T) {
 	ix, st := testEnv(t)
 	gs := newGatedStore(st)
-	m, _ := NewShardedManager(4, 1, gs, ix, func() Policy { return NewLRU() })
+	m, _ := NewShardedManager(4, 1, gs, ix, func(int) Policy { return NewLRU() })
 
 	loaderErr := make(chan error, 1)
 	go func() {
@@ -272,7 +272,7 @@ func waitPin(t *testing.T, m *ShardedManager, id postings.PageID, want int) {
 func TestFailedLoadDropsResidency(t *testing.T) {
 	ix, st := testEnv(t)
 	gs := newGatedStore(st)
-	m, _ := NewShardedManager(4, 1, gs, ix, func() Policy { return NewLRU() })
+	m, _ := NewShardedManager(4, 1, gs, ix, func(int) Policy { return NewLRU() })
 
 	loaderErr := make(chan error, 1)
 	go func() {
@@ -328,7 +328,7 @@ func TestVictimWaitBackpressure(t *testing.T) {
 			if serial {
 				pool, _ = NewManager(1, st, ix, NewLRU())
 			} else {
-				pool, _ = NewShardedManager(1, 1, st, ix, func() Policy { return NewLRU() })
+				pool, _ = NewShardedManager(1, 1, st, ix, func(int) Policy { return NewLRU() })
 			}
 			pool.SetRetryPolicy(RetryPolicy{VictimWait: 5 * time.Second})
 
@@ -371,7 +371,7 @@ func TestVictimWaitTimesOut(t *testing.T) {
 			if serial {
 				pool, _ = NewManager(1, st, ix, NewLRU())
 			} else {
-				pool, _ = NewShardedManager(1, 1, st, ix, func() Policy { return NewLRU() })
+				pool, _ = NewShardedManager(1, 1, st, ix, func(int) Policy { return NewLRU() })
 			}
 			pool.SetRetryPolicy(RetryPolicy{VictimWait: 50 * time.Millisecond})
 			f0, _, err := pool.Fetch(0)
@@ -393,7 +393,7 @@ func TestVictimWaitTimesOut(t *testing.T) {
 
 func TestVictimWaitHonorsContext(t *testing.T) {
 	ix, st := testEnv(t)
-	m, _ := NewShardedManager(1, 1, st, ix, func() Policy { return NewLRU() })
+	m, _ := NewShardedManager(1, 1, st, ix, func(int) Policy { return NewLRU() })
 	m.SetRetryPolicy(RetryPolicy{VictimWait: time.Hour})
 	f0, _, err := m.Fetch(0)
 	if err != nil {
@@ -461,7 +461,7 @@ func TestSerialShardedFaultParity(t *testing.T) {
 		return m
 	})
 	bSteps, bStats, bRes, bUse, bReads := runPool(func(store PageReader, ix *postings.Index) PoolManager {
-		m, err := NewShardedManager(3, 1, store, ix, func() Policy { return NewLRU() })
+		m, err := NewShardedManager(3, 1, store, ix, func(int) Policy { return NewLRU() })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -499,7 +499,7 @@ func TestChaosCounterInvariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewShardedManager(4, 2, fs, ix, func() Policy { return NewLRU() })
+	m, err := NewShardedManager(4, 2, fs, ix, func(int) Policy { return NewLRU() })
 	if err != nil {
 		t.Fatal(err)
 	}

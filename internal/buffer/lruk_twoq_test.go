@@ -106,14 +106,17 @@ func TestTwoQProbationHitDoesNotPromote(t *testing.T) {
 func TestTwoQGhostBounded(t *testing.T) {
 	p := NewTwoQ(4) // kout = 2
 	for id := postings.PageID(0); id < 10; id++ {
-		p.addGhost(id)
+		p.ghosts.Add(id, 0)
 	}
-	if len(p.ghost) > 2 || len(p.ghostFIFO) > 2 {
-		t.Errorf("ghost grew beyond Kout: %d", len(p.ghost))
+	if p.ghosts.Len() > 2 {
+		t.Errorf("ghost grew beyond Kout: %d", p.ghosts.Len())
 	}
 	// Oldest ghosts expired.
-	if p.ghost[0] || !p.ghost[9] {
-		t.Error("ghost FIFO order wrong")
+	if _, ok := p.ghosts.Hit(0); ok {
+		t.Error("oldest ghost should have expired")
+	}
+	if _, ok := p.ghosts.Hit(9); !ok {
+		t.Error("newest ghost should be live")
 	}
 }
 

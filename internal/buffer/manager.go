@@ -365,6 +365,18 @@ func (m *Manager) ResetStats() {
 	m.stats = Stats{}
 }
 
+// PolicyStats implements PoolManager: the policy's adaptive gauges, or
+// ok == false when the policy does not report stats (every static
+// policy).
+func (m *Manager) PolicyStats() (PolicyStats, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if sr, ok := m.policy.(StatsReporter); ok {
+		return sr.PolicyStats(), true
+	}
+	return PolicyStats{}, false
+}
+
 // removeLocked detaches f from the pool. Caller holds m.mu.
 func (m *Manager) removeLocked(f *Frame) {
 	m.policy.Removed(f)

@@ -167,10 +167,13 @@ func bruteVictim(frames []*Frame) *Frame {
 func TestShardedManagerProperties(t *testing.T) {
 	ix, st := testEnv(t)
 	r := rand.New(rand.NewSource(777))
-	factories := []func() Policy{
-		func() Policy { return NewLRU() },
-		func() Policy { return NewMRU() },
-		func() Policy { return NewRAP() },
+	factories := make([]func(int) Policy, 0, len(PolicyNames))
+	for _, name := range PolicyNames {
+		mk, err := PolicyFactory(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		factories = append(factories, mk)
 	}
 	for trial := 0; trial < 30; trial++ {
 		nshards := 1 + r.Intn(4)
@@ -256,15 +259,14 @@ func TestShardedManagerProperties(t *testing.T) {
 func TestShardedSingleShardMatchesManager(t *testing.T) {
 	ix, st := testEnv(t)
 	r := rand.New(rand.NewSource(4242))
-	factories := map[string]func() Policy{
-		"LRU": func() Policy { return NewLRU() },
-		"MRU": func() Policy { return NewMRU() },
-		"RAP": func() Policy { return NewRAP() },
-	}
-	for name, mk := range factories {
+	for _, name := range PolicyNames {
+		mk, err := PolicyFactory(name)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for trial := 0; trial < 10; trial++ {
 			capacity := 1 + r.Intn(6)
-			ref, err := NewManager(capacity, st, ix, mk())
+			ref, err := NewManager(capacity, st, ix, mk(capacity))
 			if err != nil {
 				t.Fatal(err)
 			}

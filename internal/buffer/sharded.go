@@ -96,12 +96,14 @@ var _ Pool = (*ShardedManager)(nil)
 
 // NewShardedManager creates a buffer manager whose lock (and capacity)
 // is split across nshards shards. newPolicy must return a fresh policy
-// instance per call — each shard runs its own. capacity must be at
-// least nshards so every shard can hold a page. Page ids map to shards
-// by modulo, which stripes consecutive pages of one inverted list
-// across all shards — exactly the layout that lets one list scan keep
-// every latch domain busy.
-func NewShardedManager(capacity, nshards int, store PageReader, ix *postings.Index, newPolicy func() Policy) (*ShardedManager, error) {
+// instance per call — each shard runs its own, constructed with that
+// shard's exact capacity slice (2Q and ADAPTIVE size their probation
+// and ghost structures from it). capacity must be at least nshards so
+// every shard can hold a page. Page ids map to shards by modulo, which
+// stripes consecutive pages of one inverted list across all shards —
+// exactly the layout that lets one list scan keep every latch domain
+// busy.
+func NewShardedManager(capacity, nshards int, store PageReader, ix *postings.Index, newPolicy func(capacity int) Policy) (*ShardedManager, error) {
 	if nshards < 1 {
 		return nil, fmt.Errorf("buffer: shard count %d < 1", nshards)
 	}
@@ -126,7 +128,7 @@ func NewShardedManager(capacity, nshards int, store PageReader, ix *postings.Ind
 		if i < rem {
 			cap++
 		}
-		pol := newPolicy()
+		pol := newPolicy(cap)
 		if pol == nil {
 			return nil, errors.New("buffer: policy factory returned nil")
 		}
@@ -501,6 +503,38 @@ func (m *ShardedManager) ResetStats() {
 	m.hits.Store(0)
 	m.misses.Store(0)
 	m.evicts.Store(0)
+}
+
+// PolicyStats implements PoolManager: the per-shard adaptive gauges
+// summed across shards (ghost hits, expert switches) with the expert
+// weight averaged, or ok == false when the policy does not report
+// stats (every static policy).
+func (m *ShardedManager) PolicyStats() (PolicyStats, bool) {
+	var agg PolicyStats
+	reporting := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		sr, ok := sh.policy.(StatsReporter)
+		var s PolicyStats
+		if ok {
+			s = sr.PolicyStats()
+		}
+		sh.mu.Unlock()
+		if !ok {
+			continue
+		}
+		reporting++
+		agg.GhostHitsLRU += s.GhostHitsLRU
+		agg.GhostHitsRAP += s.GhostHitsRAP
+		agg.Switches += s.Switches
+		agg.WeightLRU += s.WeightLRU
+	}
+	if reporting == 0 {
+		return PolicyStats{}, false
+	}
+	agg.WeightLRU /= float64(reporting)
+	return agg, true
 }
 
 // removeLocked detaches f from its shard. Caller holds sh.mu. A frame

@@ -61,6 +61,11 @@ type PoolManager interface {
 	SetRetryPolicy(rp RetryPolicy)
 	// RetryPolicy returns the installed fault-tolerance policy.
 	RetryPolicy() RetryPolicy
+	// PolicyStats returns the replacement policy's adaptive gauges
+	// (ghost hits per expert, current expert weight, switch count);
+	// ok is false for policies that do not report stats. Sharded
+	// managers aggregate across their per-shard policy instances.
+	PolicyStats() (PolicyStats, bool)
 }
 
 var (
@@ -108,8 +113,9 @@ func NewSharedPool(capacity int, store PageReader, ix *postings.Index, policy Po
 
 // NewShardedSharedPool creates a shared pool whose latch and capacity
 // are split across nshards shards (see ShardedManager). newPolicy must
-// return a fresh policy instance per call.
-func NewShardedSharedPool(capacity, nshards int, store PageReader, ix *postings.Index, newPolicy func() Policy) (*SharedPool, error) {
+// return a fresh policy instance per call; it receives the shard's
+// capacity slice.
+func NewShardedSharedPool(capacity, nshards int, store PageReader, ix *postings.Index, newPolicy func(capacity int) Policy) (*SharedPool, error) {
 	mgr, err := NewShardedManager(capacity, nshards, store, ix, newPolicy)
 	if err != nil {
 		return nil, err

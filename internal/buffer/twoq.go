@@ -1,7 +1,5 @@
 package buffer
 
-import "bufir/internal/postings"
-
 // TwoQ is the 2Q replacement policy of Johnson & Shasha (VLDB 1994):
 // newly admitted pages enter a FIFO probation queue (A1in); pages
 // evicted from probation leave a ghost entry (A1out, page IDs only);
@@ -22,9 +20,15 @@ type TwoQ struct {
 	am   recencyList // LRU: head = most recent
 
 	inA1in map[*Frame]bool
-	ghost  map[postings.PageID]bool
-	// ghostFIFO holds ghost IDs in insertion order for bounded size.
-	ghostFIFO []postings.PageID
+	// ghosts is A1out: a fixed ring of recently-evicted probation page
+	// IDs (bounded memory — see ghostList).
+	ghosts *ghostList
+	// pending is the frame returned by the last Victim call. Removed
+	// ghosts a probation frame only when it is the pending victim:
+	// teardown removals (index Close, pool Flush, fault-poisoned frame
+	// invalidation) are not evictions and must not teach A1out that the
+	// page was pushed out under memory pressure.
+	pending *Frame
 }
 
 // NewTwoQ returns a 2Q policy for a pool of the given capacity, using
@@ -43,7 +47,7 @@ func NewTwoQ(capacity int) *TwoQ {
 		kin:      kin,
 		kout:     kout,
 		inA1in:   make(map[*Frame]bool),
-		ghost:    make(map[postings.PageID]bool),
+		ghosts:   newGhostList(kout),
 	}
 }
 
@@ -52,8 +56,10 @@ func (p *TwoQ) Name() string { return "2Q" }
 
 // Admitted implements Policy.
 func (p *TwoQ) Admitted(f *Frame) {
-	if p.ghost[f.Page] {
-		// Re-reference within ghost memory: hot page.
+	if _, ok := p.ghosts.Hit(f.Page); ok {
+		// Re-reference within ghost memory: hot page. The ghost entry
+		// is consumed (the paper's A1out hit moves the page to Am).
+		p.ghosts.Remove(f.Page)
 		p.am.pushFront(f)
 		return
 	}
@@ -70,12 +76,20 @@ func (p *TwoQ) Touched(f *Frame) {
 	p.am.moveToFront(f)
 }
 
-// Removed implements Policy.
+// Removed implements Policy: only a genuine eviction — the frame the
+// manager just obtained from Victim — of a probation page records an
+// A1out ghost entry.
 func (p *TwoQ) Removed(f *Frame) {
+	evicted := f == p.pending
+	if evicted {
+		p.pending = nil
+	}
 	if p.inA1in[f] {
 		p.a1in.remove(f)
 		delete(p.inA1in, f)
-		p.addGhost(f.Page)
+		if evicted {
+			p.ghosts.Add(f.Page, 0)
+		}
 		return
 	}
 	p.am.remove(f)
@@ -85,6 +99,12 @@ func (p *TwoQ) Removed(f *Frame) {
 // share, otherwise from the main queue's LRU end; fall back to
 // whichever queue has an unpinned page.
 func (p *TwoQ) Victim() *Frame {
+	f := p.victim()
+	p.pending = f
+	return f
+}
+
+func (p *TwoQ) victim() *Frame {
 	fromA1in := p.a1in.size > p.kin || p.am.size == 0
 	if fromA1in {
 		if f := tailUnpinned(&p.a1in); f != nil {
@@ -100,19 +120,6 @@ func (p *TwoQ) Victim() *Frame {
 
 // SetQuery implements Policy (2Q is query-oblivious).
 func (p *TwoQ) SetQuery(QueryWeights) {}
-
-func (p *TwoQ) addGhost(id postings.PageID) {
-	if p.ghost[id] {
-		return
-	}
-	p.ghost[id] = true
-	p.ghostFIFO = append(p.ghostFIFO, id)
-	for len(p.ghostFIFO) > p.kout {
-		old := p.ghostFIFO[0]
-		p.ghostFIFO = p.ghostFIFO[1:]
-		delete(p.ghost, old)
-	}
-}
 
 // tailUnpinned returns the oldest unpinned frame of a recency list.
 func tailUnpinned(l *recencyList) *Frame {

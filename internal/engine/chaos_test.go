@@ -35,7 +35,7 @@ func TestChaosServingInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 	pool, err := buffer.NewShardedSharedPool(64, 4, fs, e.Idx,
-		func() buffer.Policy { return buffer.NewRAP() })
+		func(int) buffer.Policy { return buffer.NewRAP() })
 	if err != nil {
 		t.Fatal(err)
 	}

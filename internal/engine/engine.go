@@ -473,7 +473,25 @@ func (e *Engine) ObsSnapshot() obs.Snapshot {
 			Misses:         st.Misses,
 			Evictions:      st.Evictions,
 			ShardOccupancy: mgr.ShardOccupancy(),
+			Adaptive:       adaptiveGauges(mgr),
 		},
+	}
+}
+
+// adaptiveGauges converts the pool's PolicyStats — present only when
+// the replacement policy reports them (ADAPTIVE) — into the snapshot's
+// optional gauge block.
+func adaptiveGauges(mgr buffer.PoolManager) *obs.AdaptivePolicyGauges {
+	ps, ok := mgr.PolicyStats()
+	if !ok {
+		return nil
+	}
+	return &obs.AdaptivePolicyGauges{
+		GhostHitsLRU: ps.GhostHitsLRU,
+		GhostHitsRAP: ps.GhostHitsRAP,
+		WeightLRU:    ps.WeightLRU,
+		WeightRAP:    1 - ps.WeightLRU,
+		Switches:     ps.Switches,
 	}
 }
 

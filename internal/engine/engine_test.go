@@ -107,7 +107,7 @@ func engineRun(t *testing.T, e *experiments.Env, seqs []*refine.Sequence, pages,
 		pool, err = buffer.NewSharedPool(pages, e.Store, e.Idx, buffer.NewRAP())
 	} else {
 		pool, err = buffer.NewShardedSharedPool(pages, shards, e.Store, e.Idx,
-			func() buffer.Policy { return buffer.NewRAP() })
+			func(int) buffer.Policy { return buffer.NewRAP() })
 	}
 	if err != nil {
 		t.Fatal(err)
@@ -244,7 +244,7 @@ func TestPerUserOrdering(t *testing.T) {
 func TestSubmitRace(t *testing.T) {
 	e := testEnv(t)
 	pool, err := buffer.NewShardedSharedPool(64, 4, e.Store, e.Idx,
-		func() buffer.Policy { return buffer.NewRAP() })
+		func(int) buffer.Policy { return buffer.NewRAP() })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,7 +28,7 @@ func newTestEngine(t *testing.T, pages, workers, shards int, cfg engine.Config) 
 		pool, err = buffer.NewSharedPool(pages, e.Store, e.Idx, buffer.NewRAP())
 	} else {
 		pool, err = buffer.NewShardedSharedPool(pages, shards, e.Store, e.Idx,
-			func() buffer.Policy { return buffer.NewRAP() })
+			func(int) buffer.Policy { return buffer.NewRAP() })
 	}
 	if err != nil {
 		t.Fatal(err)

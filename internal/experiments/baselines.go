@@ -60,7 +60,7 @@ func (e *Env) RunBaselines(points int) (*BaselinesResult, error) {
 		}
 		series := make([]int, 0, len(out.Sizes))
 		for _, size := range out.Sizes {
-			pol, err := newBaselinePolicy(polName, size)
+			pol, err := NewPolicy(polName, size)
 			if err != nil {
 				return nil, err
 			}
@@ -85,24 +85,6 @@ func (e *Env) RunBaselines(points int) (*BaselinesResult, error) {
 		out.Series[policy] = series
 	}
 	return out, nil
-}
-
-// newBaselinePolicy constructs a policy, sizing 2Q to the pool.
-func newBaselinePolicy(name string, capacity int) (buffer.Policy, error) {
-	switch name {
-	case "LRU":
-		return buffer.NewLRU(), nil
-	case "MRU":
-		return buffer.NewMRU(), nil
-	case "RAP":
-		return buffer.NewRAP(), nil
-	case "LRU-2":
-		return buffer.NewLRUK(2), nil
-	case "2Q":
-		return buffer.NewTwoQ(capacity), nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown baseline policy %q", name)
-	}
 }
 
 // Format prints the comparison.

@@ -177,7 +177,7 @@ func (e *Env) runEngineOnce(seqs []*refine.Sequence, totalPages, w, nshards int,
 		pool, err = buffer.NewSharedPool(totalPages, e.Store, e.Idx, buffer.NewRAP())
 	} else {
 		pool, err = buffer.NewShardedSharedPool(totalPages, nshards, e.Store, e.Idx,
-			func() buffer.Policy { return buffer.NewRAP() })
+			func(int) buffer.Policy { return buffer.NewRAP() })
 	}
 	if err != nil {
 		return 0, err

@@ -94,19 +94,18 @@ func NewEnv(cfg corpus.Config) (*Env, error) {
 	return env, nil
 }
 
-// NewPolicy constructs a replacement policy by name ("LRU", "MRU",
-// "RAP").
-func NewPolicy(name string) (buffer.Policy, error) {
-	switch name {
-	case "LRU":
-		return buffer.NewLRU(), nil
-	case "MRU":
-		return buffer.NewMRU(), nil
-	case "RAP":
-		return buffer.NewRAP(), nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown policy %q", name)
+// NewPolicy constructs a replacement policy by name — any member of
+// buffer.PolicyNames — sized for a pool of the given page capacity
+// (2Q and ADAPTIVE scale their probation/ghost structures from it).
+// It delegates to the canonical buffer.PolicyFactory, the same mapping
+// the public API resolves through, so the experiment and serving paths
+// cannot drift.
+func NewPolicy(name string, capacity int) (buffer.Policy, error) {
+	mk, err := buffer.PolicyFactory(name)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
+	return mk(capacity), nil
 }
 
 // Policies lists the studied replacement policies in the paper's
@@ -118,7 +117,7 @@ var Algorithms = []eval.Algorithm{eval.DF, eval.BAF}
 
 // newEvaluator builds a fresh evaluator with its own buffer pool.
 func (e *Env) newEvaluator(bufPages int, policy string, p eval.Params) (*eval.Evaluator, *buffer.Manager, error) {
-	pol, err := NewPolicy(policy)
+	pol, err := NewPolicy(policy, bufPages)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"bufir/internal/buffer"
 	"bufir/internal/corpus"
 	"bufir/internal/eval"
 	"bufir/internal/metrics"
@@ -32,13 +33,13 @@ func TestSweepSizes(t *testing.T) {
 }
 
 func TestNewPolicy(t *testing.T) {
-	for _, name := range Policies {
-		pol, err := NewPolicy(name)
+	for _, name := range buffer.PolicyNames {
+		pol, err := NewPolicy(name, 16)
 		if err != nil || pol.Name() != name {
 			t.Errorf("NewPolicy(%s) = %v, %v", name, pol, err)
 		}
 	}
-	if _, err := NewPolicy("CLOCK"); err == nil {
+	if _, err := NewPolicy("CLOCK", 16); err == nil {
 		t.Error("unknown policy should fail")
 	}
 }

@@ -165,7 +165,7 @@ func (e *Env) runFaultsOnce(seqs []*refine.Sequence, res *FaultsResult, prob flo
 		store = fs
 	}
 	pool, err := buffer.NewShardedSharedPool(res.BufferPages, res.Shards, store, e.Idx,
-		func() buffer.Policy { return buffer.NewRAP() })
+		func(int) buffer.Policy { return buffer.NewRAP() })
 	if err != nil {
 		return row, err
 	}

@@ -205,7 +205,7 @@ func (e *Env) runLifecycleOnce(seqs []*refine.Sequence, res *LifecycleResult, cf
 
 	var zero metrics.ServingSnapshot
 	pool, err := buffer.NewShardedSharedPool(res.BufferPages, res.Shards, e.Store, e.Idx,
-		func() buffer.Policy { return buffer.NewRAP() })
+		func(int) buffer.Policy { return buffer.NewRAP() })
 	if err != nil {
 		return 0, zero, err
 	}

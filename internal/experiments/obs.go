@@ -125,7 +125,7 @@ func (e *Env) RunObs(addr string, users, workers, shards int, readLatency time.D
 		scaleSeqs[u] = seq
 	}
 	pool, err := buffer.NewShardedSharedPool(out.BufferPages, shards, e.Store, e.Idx,
-		func() buffer.Policy { return buffer.NewRAP() })
+		func(int) buffer.Policy { return buffer.NewRAP() })
 	if err != nil {
 		return nil, err
 	}

@@ -32,7 +32,7 @@ func (ix *Index) NewSharedSessionPool(bufferPages int, policy Policy) (*SharedSe
 	if err != nil {
 		return nil, err
 	}
-	pool, err := buffer.NewSharedPool(rc.bufferPages, ix.store, ix.ix, rc.newPolicy())
+	pool, err := buffer.NewSharedPool(rc.bufferPages, ix.store, ix.ix, rc.newPolicy(rc.bufferPages))
 	if err != nil {
 		return nil, err
 	}

@@ -55,7 +55,11 @@ var (
 type resolvedConfig struct {
 	params      eval.Params
 	bufferPages int
-	newPolicy   func() buffer.Policy
+	// newPolicy constructs a fresh policy instance for a pool (or
+	// shard) of the given page capacity — 2Q and ADAPTIVE size their
+	// probation/ghost structures from it. Single-latch paths call it
+	// with bufferPages; sharded pools pass each shard's slice.
+	newPolicy func(capacity int) buffer.Policy
 }
 
 // resolveConfig is the single defaulting path for the construction

@@ -15,9 +15,9 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 STATICCHECK := $(shell $(GO) env GOPATH)/bin/staticcheck
 
-.PHONY: ci lint depgraph vet build test race leaks fuzz-seeds fuzz bench cover concurrency obs faults chaos refine-incr storetest bench-store bench-serve policy-conformance bench-policy
+.PHONY: ci lint depgraph vet build test race leaks fuzz-seeds fuzz bench cover concurrency obs faults chaos refine-incr storetest bench-store bench-serve policy-conformance bench-policy ranksafe-exactness bench-ranksafe
 
-ci: lint depgraph build test race leaks fuzz-seeds faults-smoke storetest policy-conformance bench-store bench-serve bench-policy cover
+ci: lint depgraph build test race leaks fuzz-seeds faults-smoke storetest policy-conformance ranksafe-exactness bench-store bench-serve bench-policy bench-ranksafe cover
 
 lint:
 	@if [ -x "$(STATICCHECK)" ] || $(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) 2>/dev/null; then \
@@ -157,6 +157,28 @@ policy-conformance:
 bench-policy:
 	@$(GO) run ./cmd/irbench -exp drift -benchjson BENCH_policy.json
 	@echo "wrote BENCH_policy.json"
+
+# Rank-safe exactness gate under -race: the evalsafe unit suite, the
+# metamorphic exactness/fault/cancellation suites (safe answers
+# bit-identical to exhaustive DF across corpus scales, buffer sizes,
+# all six policies, fault schedules and cancellation), the root-level
+# end-to-end method tests (Session/Engine/SharedSessionPool/Router,
+# cross-shard tie-break, IDF edge cases), and the E27 smoke run.
+ranksafe-exactness:
+	$(GO) test -race -count=1 ./internal/evalsafe
+	$(GO) test -race -count=1 \
+		-run 'TestMetamorphicSafe|TestSafe|TestRankSafe|TestSessionSafeMethods|TestSharedPoolSafeMethod|TestEngineSafeMethod|TestRouterSafeMethods|TestRouterCrossShardEqualScoreTieBreak|TestSearchIDFEdge|TestOverlapAtK|TestParseAlgorithm|TestMethodKnob' \
+		./internal/eval ./internal/rank ./internal/experiments .
+
+# The rank-safe frontier sweep (E27): TA/NRA/MAXSCORE vs exhaustive
+# evaluation and the DF/BAF filters across buffer sizes and policies,
+# persisting pages read, overlap@20, per-cell exactness and the
+# acceptance verdict (safe methods exact everywhere; at least one
+# anchor cell where a safe method reads fewer pages than FULL) as
+# BENCH_ranksafe.json for CI trend tracking.
+bench-ranksafe:
+	@$(GO) run ./cmd/irbench -exp ranksafe -points 4 -benchjson BENCH_ranksafe.json
+	@echo "wrote BENCH_ranksafe.json"
 
 # The concurrency experiment: QPS/latency vs. worker count and the
 # 1-worker exactness verification against the serial E12 run.

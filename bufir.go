@@ -37,7 +37,8 @@ type (
 	QueryTerm = eval.QueryTerm
 	// Query is a bag of query terms (natural-language query model).
 	Query = eval.Query
-	// Algorithm selects the evaluation strategy (DF or BAF).
+	// Algorithm selects the evaluation strategy (DF, BAF, TA, NRA or
+	// Maxscore).
 	Algorithm = eval.Algorithm
 	// Result carries the ranked answer and execution statistics of one
 	// query evaluation.
@@ -69,14 +70,45 @@ type (
 	FeedbackOptions = refine.FeedbackOptions
 )
 
-// Evaluation algorithms.
+// Evaluation algorithms. DF and BAF are the paper's unsafe filtering
+// methods; TA, NRA and Maxscore are the rank-safe family (bit-identical
+// to exhaustive evaluation, early-terminating, buffer-aware).
 const (
 	// DF is Persin's Document Filtering (decreasing-idf term order).
 	DF = eval.DF
 	// BAF is the paper's Buffer-Aware Filtering (fewest estimated
 	// disk reads first).
 	BAF = eval.BAF
+	// TA is rank-safe residency-ordered lockstep evaluation (Fagin's
+	// threshold-algorithm cadence with buffer-resident lists first).
+	TA = eval.TA
+	// NRA is rank-safe adaptive evaluation: each access prefers
+	// buffer residency, then the largest outstanding upper bound.
+	NRA = eval.NRA
+	// Maxscore is rank-safe term-at-a-time evaluation in BAF's
+	// fewest-reads list order; low-impact lists are often never read.
+	Maxscore = eval.MAXSCORE
 )
+
+// ParseAlgorithm resolves an evaluation method by its conventional
+// name (case-insensitive): DF, BAF, TA, NRA, MAXSCORE — the vocabulary
+// of irserve's -algo flag and E27's method axis.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "DF":
+		return DF, nil
+	case "BAF":
+		return BAF, nil
+	case "TA":
+		return TA, nil
+	case "NRA":
+		return NRA, nil
+	case "MAXSCORE":
+		return Maxscore, nil
+	default:
+		return DF, fmt.Errorf("bufir: unknown algorithm %q (want DF, BAF, TA, NRA or MAXSCORE)", name)
+	}
+}
 
 // Policy names a buffer replacement policy.
 type Policy string
@@ -605,7 +637,7 @@ func (ix *Index) NewSession(cfg SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{ix: ix, ev: ev, mgr: mgr, algo: cfg.Algorithm}, nil
+	return &Session{ix: ix, ev: ev, mgr: mgr, algo: cfg.method()}, nil
 }
 
 // Search is an exact alias of SearchContext with context.Background():

@@ -13,7 +13,7 @@
 //	fig3 fig4 table4 table5 table12 table6 fig5 fig6 table7 fig7 fig8
 //	multiuser concurrency lifecycle faults obs shards drift ablations
 //	baselines compression feedback docsorted weblegend boolean dualbuf
-//	summary effect refine-incr
+//	summary effect refine-incr ranksafe
 //
 // (fig56/fig78 are aliases for the figure pairs; default "all").
 // concurrency sweeps -workers over the E12 workload with -cusers
@@ -43,6 +43,12 @@
 // must track the winning static expert in each phase. With -benchjson
 // FILE the sweep and acceptance verdict are persisted as JSON (make
 // bench-policy writes BENCH_policy.json this way).
+// ranksafe sweeps the rank-safe evaluator family (TA, NRA, MAXSCORE)
+// against exhaustive evaluation and the paper's DF/BAF filters across
+// buffer sizes and policies (E27), reporting pages read, overlap@20
+// and bit-exactness per cell; with -benchjson FILE the sweep and its
+// acceptance verdict are persisted (make bench-ranksafe writes
+// BENCH_ranksafe.json this way).
 // shards sweeps the document-partitioned serving tier over
 // -shardcounts partitions (E25): the E21-style workload with -cusers
 // sessions and -disklat read latency runs through the public
@@ -240,6 +246,7 @@ func main() {
 	run("summary", func() (formatter, error) { return env.RunSummary(refine.AddOnly, *topics, 6) })
 	run("effect", func() (formatter, error) { return env.RunEffectiveness(effTopics(*topics), 4) })
 	run("refine-incr", func() (formatter, error) { return env.RunRefineIncr(*topics) })
+	run("ranksafe", func() (formatter, error) { return env.RunRankSafe(*points) })
 
 	fmt.Fprintf(w, "total time %v\n", time.Since(start).Round(time.Millisecond))
 }

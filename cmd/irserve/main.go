@@ -8,7 +8,7 @@
 //
 //	irserve [-index PATH] [-addr :8080] [-shards N]
 //	        [-workers N] [-buffers N] [-policy LRU|MRU|RAP]
-//	        [-algo DF|BAF] [-topn N] [-maxqueue N]
+//	        [-algo DF|BAF|TA|NRA|MAXSCORE] [-topn N] [-maxqueue N]
 //	        [-timeout DUR] [-shardtimeout DUR] [-obs ADDR]
 //
 // -index takes everything bufir.Open does: "synth:SCALE[:SEED]" for a
@@ -50,7 +50,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "worker goroutines per shard engine (0 = default)")
 		buffers      = flag.Int("buffers", 256, "buffer pages per shard engine")
 		policy       = flag.String("policy", "RAP", "replacement policy: LRU, MRU or RAP")
-		algo         = flag.String("algo", "BAF", "evaluation algorithm: DF or BAF")
+		algo         = flag.String("algo", "BAF", "evaluation algorithm: DF, BAF, TA, NRA or MAXSCORE (TA/NRA/MAXSCORE are rank-safe: exact top-k, early termination)")
 		topn         = flag.Int("topn", 10, "answer size")
 		maxQueue     = flag.Int("maxqueue", 0, "per-shard admission queue bound (0 = unbounded)")
 		timeout      = flag.Duration("timeout", 0, "per-request deadline, 0 = none (expired requests return their anytime answer)")
@@ -59,14 +59,9 @@ func main() {
 	)
 	flag.Parse()
 
-	var a bufir.Algorithm
-	switch strings.ToUpper(*algo) {
-	case "DF":
-		a = bufir.DF
-	case "BAF":
-		a = bufir.BAF
-	default:
-		log.Fatalf("unknown algorithm %q", *algo)
+	a, err := bufir.ParseAlgorithm(*algo)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	svc, err := openService(serveConfig{

@@ -176,7 +176,7 @@ func (ix *Index) NewEngine(cfg EngineConfig) (*Engine, error) {
 	}
 	inner, err := engine.New(ix.ix, ix.conv, pool, engine.Config{
 		Workers:      cfg.Workers,
-		Algo:         cfg.Algorithm,
+		Algo:         cfg.method(),
 		Params:       rc.params,
 		MaxQueue:     cfg.MaxQueue,
 		QueryTimeout: cfg.QueryTimeout,

@@ -50,7 +50,28 @@ const (
 	// quantitatively. A fully cold query falls back to DF (there is
 	// nothing buffered to prefer).
 	WebLegend
+	// TA, NRA and MAXSCORE are the rank-safe methods of
+	// internal/evalsafe: guaranteed bit-identical to exhaustive
+	// (unfiltered) DF, terminating as soon as the provisional top-k is
+	// provably final, with buffer-residency-driven access order. They
+	// ignore the CAdd/CIns filtering constants — exactness is the
+	// contract — and record no refinement snapshots. TA advances every
+	// live list in residency-ordered lockstep rounds.
+	TA
+	// NRA adaptively reads the list with a buffer-resident next page,
+	// then the largest score bound.
+	NRA
+	// MAXSCORE scans term-at-a-time in BAF's fewest-estimated-reads
+	// order with a max-contribution tie-break, leaving trailing lists
+	// unopened once the answer is proven.
+	MAXSCORE
 )
+
+// Safe reports whether the algorithm is rank-safe: guaranteed to
+// return exhaustive DF's exact top-k on a fault-free, uncanceled run.
+func (a Algorithm) Safe() bool {
+	return a == TA || a == NRA || a == MAXSCORE
+}
 
 // String returns the algorithm's conventional name.
 func (a Algorithm) String() string {
@@ -61,6 +82,12 @@ func (a Algorithm) String() string {
 		return "BAF"
 	case WebLegend:
 		return "WEB"
+	case TA:
+		return "TA"
+	case NRA:
+		return "NRA"
+	case MAXSCORE:
+		return "MAXSCORE"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -319,6 +346,17 @@ func (e *Evaluator) evaluate(ctx context.Context, algo Algorithm, q Query, prev 
 		weights[qt.Term] = rank.QueryWeight(qt.Fqt, e.Idx.IDF(qt.Term))
 	}
 	e.Buf.SetQuery(func(t postings.TermID) float64 { return weights[t] })
+
+	if algo.Safe() {
+		// The rank-safe family runs in internal/evalsafe and returns
+		// exhaustive DF's exact answer; it has no accumulator-replay
+		// snapshots (nothing to resume — the method already reads the
+		// minimum it can prove sufficient), so prev/record are ignored
+		// and refinement falls back to cold safe evaluations plus the
+		// engine's result cache.
+		res, err := e.evaluateSafe(ctx, algo, q)
+		return res, nil, err
+	}
 
 	start := time.Now()
 	st := &evalState{

@@ -1,0 +1,333 @@
+// Metamorphic exactness suite for the rank-safe evaluator family
+// (ISSUE PR-9 satellite 4): over random corpora at several scales,
+// buffer sizes spanning under- to over-provisioned pools, all six
+// replacement policies, fault schedules and cancellation
+// interleavings, TA/NRA/MAXSCORE must return the bit-identical top-k
+// of an exhaustive (unfiltered) DF evaluation — same documents, same
+// float64 scores, same tie order. Faulted and canceled runs cannot
+// promise exactness (neither can DF's); there the contract is a legal
+// degraded/partial ranking, and exactness must return the moment the
+// store heals. Runs under -race in the ci ranksafe gate.
+package eval
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"bufir/internal/buffer"
+	"bufir/internal/postings"
+	"bufir/internal/rank"
+)
+
+var safeAlgos = []Algorithm{TA, NRA, MAXSCORE}
+
+// safePolicies is the full replacement-policy family — the exactness
+// guarantee must be independent of what the pool happens to evict.
+var safePolicies = []struct {
+	name string
+	mk   func(capacity int) buffer.Policy
+}{
+	{"LRU", func(int) buffer.Policy { return buffer.NewLRU() }},
+	{"MRU", func(int) buffer.Policy { return buffer.NewMRU() }},
+	{"RAP", func(int) buffer.Policy { return buffer.NewRAP() }},
+	{"LRU-2", func(int) buffer.Policy { return buffer.NewLRUK(2) }},
+	{"2Q", func(c int) buffer.Policy { return buffer.NewTwoQ(c) }},
+	{"ADAPTIVE", func(c int) buffer.Policy { return buffer.NewAdaptive(c) }},
+}
+
+// assertTopIdentical compares only the ranked answer — the safe
+// methods legitimately touch fewer candidates than an exhaustive scan,
+// so Accumulators and Smax are not part of their contract.
+func assertTopIdentical(t *testing.T, label string, got, want []rank.ScoredDoc) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Doc != want[i].Doc || got[i].Score != want[i].Score {
+			t.Fatalf("%s pos %d: got %+v, want %+v (bit-identical)", label, i, got[i], want[i])
+		}
+	}
+}
+
+// exhaustiveRef evaluates q exhaustively (CAdd=CIns=0 DF) on a fresh
+// ample pool — the reference every safe evaluation must match.
+func exhaustiveRef(t *testing.T, f *fixture, topN int, q Query) *Result {
+	t.Helper()
+	ev := f.evaluator(t, f.ix.NumPagesTotal+2, buffer.NewLRU(), Params{TopN: topN})
+	res, err := ev.Evaluate(DF, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// randIndexScaled builds a random fixture at the given document scale
+// (randIndex's shape with more room).
+func randIndexScaled(t *testing.T, r *rand.Rand, minDocs, docSpread int) *fixture {
+	t.Helper()
+	numDocs := minDocs + r.Intn(docSpread)
+	numTerms := 5 + r.Intn(6)
+	lists := make([]postings.TermPostings, numTerms)
+	for tm := 0; tm < numTerms; tm++ {
+		df := 1 + r.Intn(numDocs)
+		perm := r.Perm(numDocs)[:df]
+		entries := make([]postings.Entry, df)
+		for i, d := range perm {
+			entries[i] = postings.Entry{Doc: postings.DocID(d), Freq: int32(1 + r.Intn(20))}
+		}
+		lists[tm] = postings.TermPostings{Name: string(rune('a' + tm)), Entries: entries}
+	}
+	return newFixture(t, lists, numDocs, 1+r.Intn(4))
+}
+
+func randSafeQuery(r *rand.Rand, numTerms int) Query {
+	n := 1 + r.Intn(numTerms)
+	perm := r.Perm(numTerms)[:n]
+	q := make(Query, n)
+	for i, tm := range perm {
+		q[i] = QueryTerm{Term: postings.TermID(tm), Fqt: 1 + r.Intn(3)}
+	}
+	return q
+}
+
+// TestMetamorphicSafeExactness is the headline sweep: for every
+// policy, random corpora at two scales × random buffer sizes × random
+// queries × every safe method, the answer is bit-identical to the
+// exhaustive reference and never costs more page processing.
+func TestMetamorphicSafeExactness(t *testing.T) {
+	const perPolicy = 40
+	for _, pol := range safePolicies {
+		pol := pol
+		t.Run(pol.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(2009 + int64(len(pol.name))))
+			terminated := 0
+			for i := 0; i < perPolicy; i++ {
+				var f *fixture
+				if i%4 == 3 {
+					f = randIndexScaled(t, r, 80, 120) // medium scale
+				} else {
+					f = randIndexScaled(t, r, 8, 33) // unit scale
+				}
+				q := randSafeQuery(r, len(f.lists))
+				k := 1 + r.Intn(10)
+				bufPages := 1 + r.Intn(f.ix.NumPagesTotal+2)
+				want := exhaustiveRef(t, f, k, q)
+				for _, algo := range safeAlgos {
+					ev := f.evaluator(t, bufPages, pol.mk(bufPages), Params{TopN: k})
+					res, err := ev.Evaluate(algo, q)
+					if err != nil {
+						t.Fatalf("iter %d %v: %v", i, algo, err)
+					}
+					assertTopIdentical(t, algo.String(), res.Top, want.Top)
+					if res.PagesProcessed > want.PagesProcessed {
+						t.Fatalf("iter %d %v: processed %d pages, exhaustive %d",
+							i, algo, res.PagesProcessed, want.PagesProcessed)
+					}
+					if res.Partial || res.Degraded {
+						t.Fatalf("iter %d %v: clean run flagged Partial=%v Degraded=%v",
+							i, algo, res.Partial, res.Degraded)
+					}
+					for _, tt := range res.Trace {
+						if math.IsNaN(tt.IDF) || math.IsInf(tt.IDF, 0) {
+							t.Fatalf("iter %d %v: non-finite idf in trace", i, algo)
+						}
+					}
+				}
+				// Count early terminations via a tight-k probe so the sweep
+				// provably exercises the proof, not just exhaustion.
+				ev := f.evaluator(t, bufPages, pol.mk(bufPages), Params{TopN: 1})
+				res, err := ev.Evaluate(MAXSCORE, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.PagesProcessed < want.PagesProcessed {
+					terminated++
+				}
+			}
+			if terminated == 0 {
+				t.Error("no run ever terminated early — the proof never engaged")
+			}
+		})
+	}
+}
+
+// TestMetamorphicSafeFaultInterleavings: under an injected fault
+// schedule absorbed by the budget, a safe evaluation must complete
+// with a legal degraded ranking; once the store heals the very next
+// evaluation is exact again.
+func TestMetamorphicSafeFaultInterleavings(t *testing.T) {
+	r := rand.New(rand.NewSource(8087))
+	for i := 0; i < 36; i++ {
+		f := randIndexScaled(t, r, 8, 33)
+		q := randSafeQuery(r, len(f.lists))
+		k := 1 + r.Intn(8)
+		pol := safePolicies[i%len(safePolicies)]
+		bufPages := 1 + r.Intn(f.ix.NumPagesTotal+2)
+		algo := safeAlgos[i%len(safeAlgos)]
+
+		p := Params{TopN: k, FaultBudget: 100}
+		ev := f.evaluator(t, bufPages, pol.mk(bufPages), p)
+		f.store.InjectFaultEvery(int64(2 + r.Intn(4)))
+		res, err := ev.Evaluate(algo, q)
+		f.store.InjectFaultEvery(0)
+		if err != nil {
+			t.Fatalf("iter %d %v: budget run errored: %v", i, algo, err)
+		}
+		assertLegalSafeRanking(t, res.Top, k)
+		if res.Faults > 0 && !res.Degraded {
+			t.Fatalf("iter %d %v: %d faults but not Degraded", i, algo, res.Faults)
+		}
+
+		// Healed store: exactness must return immediately, on the same
+		// evaluator and warmed pool.
+		want := exhaustiveRef(t, f, k, q)
+		res, err = ev.Evaluate(algo, q)
+		if err != nil {
+			t.Fatalf("iter %d %v: healed run: %v", i, algo, err)
+		}
+		if res.Degraded {
+			t.Fatalf("iter %d %v: healed run degraded", i, algo)
+		}
+		assertTopIdentical(t, "healed", res.Top, want.Top)
+
+		// Zero budget: the first fault must fail the query with no
+		// result.
+		ev0 := f.evaluator(t, bufPages, pol.mk(bufPages), Params{TopN: k})
+		f.store.InjectFaultEvery(1)
+		res0, err := ev0.Evaluate(algo, q)
+		f.store.InjectFaultEvery(0)
+		if err == nil {
+			t.Fatalf("iter %d %v: zero budget absorbed a fault", i, algo)
+		}
+		if res0 != nil {
+			t.Fatalf("iter %d %v: non-context error returned a result", i, algo)
+		}
+	}
+}
+
+// TestMetamorphicSafeCancellation: a safe evaluation canceled mid-scan
+// returns the anytime partial ranking alongside context.Canceled, with
+// no frames left pinned, and the retry on a live context is exact.
+func TestMetamorphicSafeCancellation(t *testing.T) {
+	r := rand.New(rand.NewSource(60901))
+	for i := 0; i < 36; i++ {
+		f := randIndexScaled(t, r, 8, 33)
+		q := randSafeQuery(r, len(f.lists))
+		k := 1 + r.Intn(8)
+		pol := safePolicies[i%len(safePolicies)]
+		algo := safeAlgos[i%len(safeAlgos)]
+		mgr, err := buffer.NewManager(1+r.Intn(f.ix.NumPagesTotal+2), f.store, f.ix, pol.mk(f.ix.NumPagesTotal+2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := Params{TopN: k}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		pool := &cancelAfterPool{Pool: mgr, cancel: cancel, n: r.Intn(3)}
+		evC, err := NewEvaluator(f.ix, pool, f.conv, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := evC.EvaluateContext(ctx, algo, q)
+		cancel()
+		if err == nil {
+			// The cancel landed after the evaluation finished — then the
+			// answer must already be the exact one.
+			assertTopIdentical(t, "finished-before-cancel", res.Top, exhaustiveRef(t, f, k, q).Top)
+		} else {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("iter %d %v: %v", i, algo, err)
+			}
+			if res == nil || !res.Partial {
+				t.Fatalf("iter %d %v: no partial result on cancellation", i, algo)
+			}
+			assertLegalSafeRanking(t, res.Top, k)
+		}
+		if n := mgr.PinnedFrames(); n != 0 {
+			t.Fatalf("iter %d %v: %d frames pinned after cancel", i, algo, n)
+		}
+
+		// Retry on a healthy context, same pool: exact.
+		ev, err := NewEvaluator(f.ix, mgr, f.conv, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ev.Evaluate(algo, q)
+		if err != nil {
+			t.Fatalf("iter %d %v retry: %v", i, algo, err)
+		}
+		assertTopIdentical(t, "retry", got.Top, exhaustiveRef(t, f, k, q).Top)
+	}
+}
+
+// assertLegalSafeRanking checks the structural contract of a degraded
+// or partial answer: at most k entries, rank.Before order, no
+// duplicate documents, finite scores.
+func assertLegalSafeRanking(t *testing.T, top []rank.ScoredDoc, k int) {
+	t.Helper()
+	if len(top) > k {
+		t.Fatalf("%d results for k=%d", len(top), k)
+	}
+	seen := make(map[postings.DocID]bool, len(top))
+	for i, sd := range top {
+		if seen[sd.Doc] {
+			t.Fatalf("duplicate doc %d", sd.Doc)
+		}
+		seen[sd.Doc] = true
+		if math.IsNaN(sd.Score) || math.IsInf(sd.Score, 0) {
+			t.Fatalf("non-finite score %v for doc %d", sd.Score, sd.Doc)
+		}
+		if i > 0 && rank.Before(sd, top[i-1]) {
+			t.Fatalf("ranking out of order at %d", i)
+		}
+	}
+}
+
+// TestSafeResumePathIgnoresSnapshots: the refinement entry point must
+// accept a safe algorithm, return no snapshot (nothing to resume), and
+// stay exact when handed a stale DF snapshot.
+func TestSafeResumePathIgnoresSnapshots(t *testing.T) {
+	f := smallFixture(t)
+	q1 := Query{{Term: 0, Fqt: 1}}
+	q2 := Query{{Term: 0, Fqt: 1}, {Term: 1, Fqt: 2}}
+	ev := f.evaluator(t, 64, buffer.NewLRU(), Params{TopN: 5})
+
+	// Record a DF snapshot first, then hand it to a safe evaluation.
+	_, snap, err := ev.EvaluateResumeContext(context.Background(), DF, q1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range safeAlgos {
+		res, next, err := ev.EvaluateResumeContext(context.Background(), algo, q2, snap)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if next != nil {
+			t.Errorf("%v: safe evaluation recorded a snapshot", algo)
+		}
+		assertTopIdentical(t, algo.String(), res.Top, exhaustiveRef(t, f, 5, q2).Top)
+	}
+}
+
+// TestSafeAlgorithmStrings pins the String names the Method knob and
+// E27 rows use.
+func TestSafeAlgorithmStrings(t *testing.T) {
+	want := map[Algorithm]string{TA: "TA", NRA: "NRA", MAXSCORE: "MAXSCORE"}
+	for algo, name := range want {
+		if algo.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(algo), algo.String(), name)
+		}
+		if !algo.Safe() {
+			t.Errorf("%s.Safe() = false", name)
+		}
+	}
+	for _, algo := range []Algorithm{DF, BAF, WebLegend} {
+		if algo.Safe() {
+			t.Errorf("%s.Safe() = true", algo)
+		}
+	}
+}

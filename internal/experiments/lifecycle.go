@@ -263,30 +263,11 @@ func (e *Env) runLifecycleOnce(seqs []*refine.Sequence, res *LifecycleResult, cf
 	return submitted, eng.Counters(), nil
 }
 
-// overlapAt20 is |topA ∩ topB| / |topB| over the first 20 documents of
-// each ranking (1.0 when the reference is empty — there was nothing to
-// miss).
+// overlapAt20 is rank.OverlapAtK at the paper's answer size: one
+// audited implementation shared by E23, E26 and E27 (duplicate DocIDs
+// in a degraded ranking count once, so the metric is capped at 1).
 func overlapAt20(got, want []rank.ScoredDoc) float64 {
-	if len(want) > 20 {
-		want = want[:20]
-	}
-	if len(got) > 20 {
-		got = got[:20]
-	}
-	if len(want) == 0 {
-		return 1
-	}
-	set := make(map[int]bool, len(want))
-	for _, sd := range want {
-		set[int(sd.Doc)] = true
-	}
-	hit := 0
-	for _, sd := range got {
-		if set[int(sd.Doc)] {
-			hit++
-		}
-	}
-	return float64(hit) / float64(len(want))
+	return rank.OverlapAtK(got, want, 20)
 }
 
 // Format prints the tradeoff table.

@@ -268,7 +268,7 @@ func Load(r io.Reader) (*postings.Index, [][]postings.Entry, *Aux, error) {
 		tm := postings.TermMeta{
 			Name:        string(name),
 			DF:          int(df),
-			IDF:         math.Log2(float64(numDocs) / float64(df)),
+			IDF:         postings.IDFValue(int(numDocs), int(df)),
 			FMax:        int32(fmax),
 			FirstPage:   nextPage,
 			NumPages:    int(numPages),

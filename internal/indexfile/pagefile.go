@@ -360,7 +360,7 @@ func decodeMeta(data []byte) (*postings.Index, *Aux, error) {
 		tm := postings.TermMeta{
 			Name:        name,
 			DF:          int(df),
-			IDF:         math.Log2(float64(numDocs) / float64(df)),
+			IDF:         postings.IDFValue(int(numDocs), int(df)),
 			FMax:        int32(fmax),
 			FirstPage:   nextPage,
 			NumPages:    int(numPages),

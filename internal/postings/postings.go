@@ -88,6 +88,27 @@ type Index struct {
 	pageOffset []int32
 	// pageWStar[p] is w*_{d,t} = PageMaxFreq * idf_t for page p.
 	pageWStar []float64
+	// docsByLen holds the DocIDs with positive vector length, ordered
+	// by W_d ascending (ties DocID ascending). Rank-safe evaluators
+	// walk it to bound the best normalized score any still-unseen
+	// document could reach.
+	docsByLen []DocID
+}
+
+// DocsByLen returns the documents with positive vector length in
+// ascending W_d order (ties by DocID). The slice is rebuilt by
+// RebuildPageMaps and must be treated as read-only.
+func (ix *Index) DocsByLen() []DocID { return ix.docsByLen }
+
+// MinDocLen returns the smallest positive document vector length, or 0
+// when no document has one. 1/MinDocLen is the largest normalization
+// factor any score can receive — the denominator of the unseen-document
+// bound in rank-safe termination proofs.
+func (ix *Index) MinDocLen() float64 {
+	if len(ix.docsByLen) == 0 {
+		return 0
+	}
+	return ix.DocLen[ix.docsByLen[0]]
 }
 
 // TermOfPage returns the term whose inverted list contains page p.
@@ -115,6 +136,30 @@ func (ix *Index) PageOf(t TermID, i int) PageID {
 
 // IDF returns idf_t for term t.
 func (ix *Index) IDF(t TermID) float64 { return ix.Terms[t].IDF }
+
+// IDFValue computes idf_t = log2(N / f_t) with the degenerate inputs
+// guarded, and is the single authority every IDF in the system comes
+// from (Build, the indexfile loaders, and rank.IDF all delegate here):
+//
+//   - f_t <= 0 — a term absent from the collection, representable in
+//     loaded shard metadata — yields 0, not +Inf: the term carries no
+//     information and must contribute nothing, rather than poison
+//     query weights and score bounds with infinities (0 * Inf = NaN).
+//   - f_t >= N — a term in every document — yields 0 as well:
+//     log2(N/N) is exactly 0 for f_t == N (such a term has no
+//     discriminating power and contributes nothing to any score, by
+//     design, not by accident), and f_t > N (corrupt or foreign
+//     metadata) is clamped to 0 instead of going negative, which would
+//     turn contributions into penalties and break the frequency-sorted
+//     score bounds.
+//
+// Between the edges this is exactly Equation 4.
+func IDFValue(numDocs, df int) float64 {
+	if df <= 0 || df >= numDocs {
+		return 0
+	}
+	return math.Log2(float64(numDocs) / float64(df))
+}
 
 // PagesToProcessExact returns p_t: the number of pages of term t's
 // list that a threshold scan with addition threshold fadd processes.
@@ -144,9 +189,11 @@ func ListPostings(pages [][]Entry, ix *Index, t TermID) []Entry {
 }
 
 // RebuildPageMaps recomputes the derived page-level arrays (page →
-// term, page → offset, page → w*) and NumPagesTotal from the term
-// metadata. Build calls it implicitly; it is exported for index
-// loaders that reconstruct an Index from persisted metadata.
+// term, page → offset, page → w*), NumPagesTotal, and the
+// length-ordered document list behind DocsByLen/MinDocLen from the
+// term metadata and DocLen. Build calls it implicitly; it is exported
+// for index loaders that reconstruct an Index from persisted metadata
+// (which must populate DocLen before calling).
 func (ix *Index) RebuildPageMaps() error {
 	total := 0
 	for t := range ix.Terms {
@@ -173,6 +220,19 @@ func (ix *Index) RebuildPageMaps() error {
 			ix.pageWStar[p] = float64(tm.PageMaxFreq[i]) * tm.IDF
 		}
 	}
+	ix.docsByLen = ix.docsByLen[:0]
+	for d, w := range ix.DocLen {
+		if w > 0 {
+			ix.docsByLen = append(ix.docsByLen, DocID(d))
+		}
+	}
+	sort.Slice(ix.docsByLen, func(i, j int) bool {
+		a, b := ix.docsByLen[i], ix.docsByLen[j]
+		if ix.DocLen[a] != ix.DocLen[b] {
+			return ix.DocLen[a] < ix.DocLen[b]
+		}
+		return a < b
+	})
 	return nil
 }
 
@@ -252,7 +312,7 @@ func build(lists []TermPostings, numDocs, pageSize int, sortEntries func([]Entry
 			}
 		}
 		df := len(entries)
-		idf := math.Log2(float64(numDocs) / float64(df))
+		idf := IDFValue(numDocs, df)
 		numPages := (df + pageSize - 1) / pageSize
 		tm := TermMeta{
 			Name:        lp.Name,

@@ -6,14 +6,22 @@ package rank
 
 import (
 	"container/heap"
-	"math"
+	"sort"
 
 	"bufir/internal/postings"
 )
 
-// IDF computes idf_t = log2(N / f_t).
+// IDF computes idf_t = log2(N / f_t), guarded at both degenerate
+// edges: f_t <= 0 (a term absent from the collection — reachable
+// through loaded shard metadata, where a term may carry a global df
+// with no local postings) and f_t >= N (a term in every document)
+// both yield 0, so an uninformative term contributes nothing instead
+// of injecting ±Inf into query weights. IDF delegates to
+// postings.IDFValue, the single audited implementation shared with
+// index construction and the index-file loaders; see its comment for
+// the rationale at each edge.
 func IDF(numDocs, df int) float64 {
-	return math.Log2(float64(numDocs) / float64(df))
+	return postings.IDFValue(numDocs, df)
 }
 
 // DocWeight computes w_{d,t} = f_{d,t} · idf_t.
@@ -81,6 +89,60 @@ func lessScored(a, b ScoredDoc) bool {
 		return a.Score < b.Score
 	}
 	return a.Doc > b.Doc
+}
+
+// Before reports whether a ranks strictly ahead of b in result order:
+// higher score first, lower DocID first among equal scores. It is the
+// exact complement view of the lessScored predicate TopN's heap uses,
+// exported so every ranking produced in the system — TopN selection,
+// the router's cross-shard merge, rank-safe termination comparisons —
+// totals-orders ties identically. Two rankings of the same documents
+// can differ only if they use different predicates; this is the only
+// one.
+func Before(a, b ScoredDoc) bool {
+	return lessScored(b, a)
+}
+
+// SortDesc sorts docs into result order (Before: score descending,
+// DocID ascending among ties) in place. Merging per-shard rankings
+// with SortDesc and truncating is bit-identical to a single-index
+// TopN over the union whenever per-doc scores agree.
+func SortDesc(docs []ScoredDoc) {
+	sort.Slice(docs, func(i, j int) bool { return Before(docs[i], docs[j]) })
+}
+
+// OverlapAtK is the judgment-free overlap metric of Clarke, Culpepper
+// & Moffat: |top-k(got) ∩ top-k(want)| / |top-k(want)|, over DISTINCT
+// documents. Duplicate DocIDs — which a degraded or partial merge can
+// legally contain — count once, so the metric can never exceed 1; the
+// historical per-entry count let a ranking with dupes score above
+// perfect. An empty reference yields 1 (there was nothing to miss).
+// E23 (fault sweeps), E26 (deadline sweeps) and E27 (rank-safe
+// frontier) all measure through this one implementation.
+func OverlapAtK(got, want []ScoredDoc, k int) float64 {
+	if k > 0 {
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) > k {
+			got = got[:k]
+		}
+	}
+	wantSet := make(map[postings.DocID]bool, len(want))
+	for _, sd := range want {
+		wantSet[sd.Doc] = true
+	}
+	if len(wantSet) == 0 {
+		return 1
+	}
+	hit := 0
+	for _, sd := range got {
+		if wantSet[sd.Doc] {
+			hit++
+			delete(wantSet, sd.Doc) // a duplicate hit counts once
+		}
+	}
+	return float64(hit) / float64(hit+len(wantSet))
 }
 
 // topHeap is a min-heap of ScoredDocs: the root is the weakest kept

@@ -159,3 +159,107 @@ func TestTopNQuickOrdering(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestIDFGuardedEdges(t *testing.T) {
+	// df == 0: a term absent from the collection (reachable through
+	// loaded shard metadata) must contribute nothing, not +Inf.
+	if got := IDF(100, 0); got != 0 {
+		t.Errorf("IDF(100,0) = %g, want 0", got)
+	}
+	if got := IDF(100, -3); got != 0 {
+		t.Errorf("IDF(100,-3) = %g, want 0", got)
+	}
+	// df == numDocs: zero by Equation 4, and documented as such.
+	if got := IDF(40000, 40000); got != 0 {
+		t.Errorf("IDF(N,N) = %g, want 0", got)
+	}
+	// df > numDocs (corrupt metadata): clamped to 0, never negative.
+	if got := IDF(10, 25); got != 0 {
+		t.Errorf("IDF(10,25) = %g, want 0", got)
+	}
+	// The guard must keep downstream weights finite: these are the
+	// expressions a query with a degenerate term runs through.
+	for _, df := range []int{0, 100} {
+		idf := IDF(100, df)
+		if w := QueryWeight(3, idf); math.IsInf(w, 0) || math.IsNaN(w) {
+			t.Errorf("QueryWeight with df=%d = %g", df, w)
+		}
+		if w := DocWeight(0, idf); math.IsNaN(w) {
+			t.Errorf("DocWeight(0, idf(df=%d)) = %g", df, w)
+		}
+	}
+	// rank.IDF and postings.IDFValue are the same implementation.
+	for _, c := range [][2]int{{8, 2}, {100, 0}, {100, 100}, {10, 25}} {
+		if IDF(c[0], c[1]) != postings.IDFValue(c[0], c[1]) {
+			t.Errorf("IDF(%d,%d) diverges from postings.IDFValue", c[0], c[1])
+		}
+	}
+}
+
+func TestOverlapAtKDuplicateDocIDs(t *testing.T) {
+	want := []ScoredDoc{{Doc: 1, Score: 3}, {Doc: 2, Score: 2}, {Doc: 3, Score: 1}}
+	// A degraded merge can legally hold duplicate DocIDs. The
+	// historical per-entry count scored this 4/3 > 1.
+	got := []ScoredDoc{{Doc: 1, Score: 3}, {Doc: 1, Score: 3}, {Doc: 2, Score: 2}, {Doc: 2, Score: 2}}
+	if ov := OverlapAtK(got, want, 20); ov != 2.0/3.0 {
+		t.Errorf("overlap with duplicate got = %g, want 2/3", ov)
+	}
+	// Duplicates in the reference must not inflate the denominator.
+	dupWant := []ScoredDoc{{Doc: 1, Score: 3}, {Doc: 1, Score: 3}, {Doc: 2, Score: 2}}
+	if ov := OverlapAtK([]ScoredDoc{{Doc: 1, Score: 3}, {Doc: 2, Score: 2}}, dupWant, 20); ov != 1 {
+		t.Errorf("overlap with duplicate want = %g, want 1", ov)
+	}
+	// The metric can never exceed 1, whatever the inputs.
+	if ov := OverlapAtK(got, want, 2); ov > 1 {
+		t.Errorf("overlap = %g > 1", ov)
+	}
+}
+
+func TestOverlapAtKBasics(t *testing.T) {
+	a := []ScoredDoc{{Doc: 1}, {Doc: 2}, {Doc: 3}}
+	b := []ScoredDoc{{Doc: 3}, {Doc: 4}, {Doc: 5}}
+	if ov := OverlapAtK(a, b, 3); ov != 1.0/3.0 {
+		t.Errorf("overlap = %g, want 1/3", ov)
+	}
+	if ov := OverlapAtK(a, nil, 20); ov != 1 {
+		t.Errorf("empty reference overlap = %g, want 1", ov)
+	}
+	if ov := OverlapAtK(nil, b, 20); ov != 0 {
+		t.Errorf("empty got overlap = %g, want 0", ov)
+	}
+	// k truncates both sides before comparing.
+	if ov := OverlapAtK(a, b, 1); ov != 0 {
+		t.Errorf("overlap@1 = %g, want 0 (heads differ)", ov)
+	}
+	// k <= 0 compares whole rankings.
+	if ov := OverlapAtK(a, a, 0); ov != 1 {
+		t.Errorf("overlap@0 (untruncated) = %g, want 1", ov)
+	}
+}
+
+func TestBeforeMatchesTopNOrder(t *testing.T) {
+	// Before must be the exact complement view of the heap predicate:
+	// sorting with it reproduces TopN's output order.
+	acc := map[postings.DocID]float64{}
+	docLen := make([]float64, 50)
+	rng := rand.New(rand.NewSource(7))
+	var all []ScoredDoc
+	for d := 0; d < 50; d++ {
+		docLen[d] = 1
+		score := float64(rng.Intn(5)) // force score ties
+		acc[postings.DocID(d)] = score
+		all = append(all, ScoredDoc{Doc: postings.DocID(d), Score: score})
+	}
+	SortDesc(all)
+	got := TopN(acc, docLen, len(all))
+	for i := range got {
+		if got[i] != all[i] {
+			t.Fatalf("position %d: TopN %v != SortDesc %v", i, got[i], all[i])
+		}
+	}
+	for i := 1; i < len(all); i++ {
+		if Before(all[i], all[i-1]) {
+			t.Fatalf("SortDesc violates Before at %d", i)
+		}
+	}
+}

@@ -62,7 +62,7 @@ func (sp *SharedSessionPool) NewSession(cfg SessionConfig) (*SharedSession, erro
 		return nil, err
 	}
 	applyFaultOptions(sp.pool, cfg.Fault, nil)
-	return &SharedSession{ev: ev, view: view, algo: cfg.Algorithm}, nil
+	return &SharedSession{ev: ev, view: view, algo: cfg.method()}, nil
 }
 
 // BufferStats returns the shared pool's counters.

@@ -4,11 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"bufir/internal/metrics"
 	"bufir/internal/obs"
+	"bufir/internal/rank"
 )
 
 // RouterConfig parameterizes a scatter-gather Router.
@@ -199,12 +199,12 @@ func (r *Router) merge(ctx context.Context, answers []shardAnswer) (*Result, err
 			out.Degraded = true
 		}
 	}
-	sort.Slice(out.Top, func(i, j int) bool {
-		if out.Top[i].Score != out.Top[j].Score {
-			return out.Top[i].Score > out.Top[j].Score
-		}
-		return out.Top[i].Doc < out.Top[j].Doc
-	})
+	// rank.SortDesc is the same tie-break predicate rank.TopN's heap
+	// uses (score descending, DocID ascending among equal scores), so
+	// the cross-shard merge of bit-identical per-doc scores equals a
+	// single-index TopN over the union — the property the rank-safe
+	// methods' router path relies on.
+	rank.SortDesc(out.Top)
 	if len(out.Top) > r.cfg.TopN {
 		out.Top = out.Top[:r.cfg.TopN]
 	}

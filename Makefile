@@ -15,9 +15,9 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 STATICCHECK := $(shell $(GO) env GOPATH)/bin/staticcheck
 
-.PHONY: ci lint depgraph vet build test race leaks fuzz-seeds fuzz bench cover concurrency obs faults chaos refine-incr storetest bench-store bench-serve policy-conformance bench-policy ranksafe-exactness bench-ranksafe
+.PHONY: ci lint depgraph vet build test race leaks fuzz-seeds fuzz bench cover concurrency obs faults chaos refine-incr storetest bench-store bench-serve policy-conformance bench-policy ranksafe-exactness bench-ranksafe indextest ingest-exactness bench-ingest
 
-ci: lint depgraph build test race leaks fuzz-seeds faults-smoke storetest policy-conformance ranksafe-exactness bench-store bench-serve bench-policy bench-ranksafe cover
+ci: lint depgraph build test race leaks fuzz-seeds faults-smoke storetest policy-conformance ranksafe-exactness indextest ingest-exactness bench-store bench-serve bench-policy bench-ranksafe bench-ingest cover
 
 lint:
 	@if [ -x "$(STATICCHECK)" ] || $(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) 2>/dev/null; then \
@@ -66,7 +66,7 @@ leaks:
 # Replays the checked-in seed corpora (testdata/fuzz/**) plus the f.Add
 # seeds through every fuzz target, without engaging the fuzzing engine.
 fuzz-seeds:
-	$(GO) test -run=Fuzz ./internal/codec ./internal/textproc ./internal/storage ./internal/eval ./internal/indexfile
+	$(GO) test -run=Fuzz ./internal/codec ./internal/textproc ./internal/storage ./internal/eval ./internal/indexfile ./internal/livedex
 
 # Short exploratory fuzzing of every target (not part of ci; minutes).
 fuzz:
@@ -75,6 +75,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseFaultSchedule -fuzztime=60s ./internal/storage
 	$(GO) test -fuzz=FuzzCanonicalQuery -fuzztime=60s ./internal/eval
 	$(GO) test -fuzz=FuzzPageFileHeader -fuzztime=60s ./internal/indexfile
+	$(GO) test -fuzz=FuzzDeltaAppend -fuzztime=60s ./internal/livedex
 
 # Coverage floor: the evaluation core and the refinement workload
 # generator must stay at or above 80% statement coverage — the
@@ -179,6 +180,35 @@ ranksafe-exactness:
 bench-ranksafe:
 	@$(GO) run ./cmd/irbench -exp ranksafe -points 4 -benchjson BENCH_ranksafe.json
 	@echo "wrote BENCH_ranksafe.json"
+
+# The Index-port conformance suite under -race: every backend — the
+# in-memory simulator, the paged file store over both access paths, and
+# the live delta-overlay in memory-resident and file-generation flavors
+# — held to the same read-equivalence / delivered-pages / epoch
+# monotonicity / swap-isolation contract (internal/indextest).
+indextest:
+	$(GO) test -race -count=1 -run 'TestIndexConformance' .
+	$(GO) test -race -count=1 ./internal/livedex
+
+# Live-ingestion exactness gate under -race: the metamorphic harness —
+# random Add/Search/Refine/merge interleavings across all six
+# evaluation methods, a policy rotation, a transient fault schedule and
+# cancellation, every answer compared bit-for-bit against a
+# from-scratch rebuild of the current corpus — plus the epoch
+# staleness regressions (refinement snapshots and engine result-cache
+# entries die with their generation).
+ingest-exactness:
+	$(GO) test -race -count=1 \
+		-run 'TestIngestExactness|TestEngineResultCache' .
+
+# The live-ingestion serving study (E28): frozen vs steady-ingest vs
+# merge-storm phases on one engine, persisting per-phase QPS,
+# overlap@20 and the exactness verdict (merged generation
+# bit-identical to a pure-delta replay) as BENCH_ingest.json for CI
+# trend tracking.
+bench-ingest:
+	@$(GO) run ./cmd/irbench -scale tiny -exp ingest -ingestq 240 -benchjson BENCH_ingest.json
+	@echo "wrote BENCH_ingest.json"
 
 # The concurrency experiment: QPS/latency vs. worker count and the
 # 1-worker exactness verification against the serial E12 run.

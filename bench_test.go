@@ -1,4 +1,4 @@
-package bufir
+package bufir_test
 
 // Benchmark harness: one testing.B benchmark per table and figure of
 // the paper's evaluation (§5), each running the corresponding
@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	. "bufir"
 	"bufir/internal/corpus"
 	"bufir/internal/experiments"
 	"bufir/internal/refine"

@@ -3,7 +3,10 @@ package bufir
 import (
 	"context"
 	"fmt"
+	"io"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bufir/internal/buffer"
@@ -12,6 +15,7 @@ import (
 	"bufir/internal/docindex"
 	"bufir/internal/eval"
 	"bufir/internal/indexfile"
+	"bufir/internal/livedex"
 	"bufir/internal/metrics"
 	"bufir/internal/positional"
 	"bufir/internal/postings"
@@ -172,24 +176,58 @@ func GenerateCollection(cfg CollectionConfig) (*Collection, error) {
 
 // Index is a frequency-sorted paged inverted index over a simulated
 // disk. Create Sessions on it to run queries.
+//
+// An Index serves queries out of its current published view — one
+// generation of (metadata, page store, conversion table), held behind
+// an atomic pointer. For the historical read-only construction paths
+// there is exactly one view, epoch 0, and nothing ever changes.
+// EnableLiveUpdates turns the index mutable: Add publishes a new
+// combined (main + delta) view per commit and Merge swaps in a
+// compacted generation, each bumping Epoch; sessions and engines
+// rebind to the new view at their next query. See DESIGN.md §15.
 type Index struct {
-	ix    *postings.Index
-	store storage.PageStore
-	conv  *postings.ConversionTable
-	// pages holds the raw page payloads (shared with the store for
-	// the uncompressed representation) so the index can be persisted.
-	pages [][]postings.Entry
-	// docNames is non-nil for document-built indexes.
-	docNames []string
+	// cur is the current published view (see idxView). Mutated only by
+	// construction, InjectFaults, and the live-update path under
+	// liveMu.
+	cur atomic.Pointer[idxView]
+
 	// stopWords is the applied stop-word list for document-built
 	// indexes (persisted so reloaded indexes parse queries the same).
+	// Frozen at index birth: live additions are processed by the same
+	// list, never re-derived, so query parsing is stable across epochs.
 	stopWords []string
 	// pipe is non-nil for document-built indexes and processes query
 	// text identically to document text.
 	pipe *textproc.Pipeline
 	// positional is non-nil when the index was built with
-	// IndexOptions.Positional.
+	// IndexOptions.Positional. Positional data has no delta path, so
+	// EnableLiveUpdates refuses positional indexes.
 	positional *positional.Index
+
+	// Live-update state; all nil/zero until EnableLiveUpdates.
+	liveMu   sync.Mutex
+	live     *livedex.State
+	liveOpts LiveOptions
+	livePipe *textproc.Pipeline
+	// liveBase names the main generation's documents (delta names
+	// append positionally); liveMerges counts completed merges.
+	liveBase   []string
+	liveMerges int
+	// faultSchedule/faultSeed remember InjectFaults so every published
+	// view gets a fresh fault layer with the same rules (per-page read
+	// ordinals restart per generation).
+	faultRules []storage.FaultRule
+	faultSeed  uint64
+	// simLatency is re-applied to every published view's store.
+	simLatency time.Duration
+	// retired holds closers of superseded generations. Queries may
+	// still be mid-read on an old generation when a merge swaps it
+	// out, so files are closed at Index.Close, not at swap.
+	retired []io.Closer
+	// merging guards the single background merge slot; mergeWG lets
+	// Close wait for it.
+	merging atomic.Bool
+	mergeWG sync.WaitGroup
 }
 
 // NewIndex builds the inverted index of a generated collection.
@@ -198,12 +236,7 @@ func NewIndex(col *Collection) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{
-		ix:    ix,
-		store: storage.NewStore(pages),
-		conv:  postings.NewConversionTable(ix, postings.DefaultMaxKey),
-		pages: pages,
-	}, nil
+	return newStaticIndex(ix, storage.NewStore(pages), pages, nil), nil
 }
 
 // NewCompressedIndex builds the index with its pages held in the
@@ -220,12 +253,7 @@ func NewCompressedIndex(col *Collection) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{
-		ix:    ix,
-		store: cs,
-		conv:  postings.NewConversionTable(ix, postings.DefaultMaxKey),
-		pages: pages,
-	}, nil
+	return newStaticIndex(ix, cs, pages, nil), nil
 }
 
 // CompressionStats reports the store's compression statistics, or
@@ -234,19 +262,18 @@ func NewCompressedIndex(col *Collection) (*Index, error) {
 // one (OpenIndexFile) report; fault-injection layers are looked
 // through.
 func (ix *Index) CompressionStats() (CompressionStats, bool) {
-	st := ix.store
-	for {
+	st := ix.pageStore()
+	for st != nil {
 		switch s := st.(type) {
 		case *storage.CompressedStore:
 			return s.CompressionStats(), true
 		case *storage.FileStore:
 			return s.CompressionStats(), true
-		case *storage.FaultStore:
-			st = s.Inner()
 		default:
-			return CompressionStats{}, false
+			st = unwrapStore(st)
 		}
 	}
+	return CompressionStats{}, false
 }
 
 // IndexOptions controls IndexDocuments.
@@ -272,15 +299,9 @@ func IndexDocuments(docs []Document, opts IndexOptions) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Index{
-		ix:        res.Index,
-		store:     storage.NewStore(res.Pages),
-		conv:      postings.NewConversionTable(res.Index, postings.DefaultMaxKey),
-		pages:     res.Pages,
-		docNames:  res.DocNames,
-		stopWords: res.StopWords,
-		pipe:      res.Pipeline,
-	}
+	out := newStaticIndex(res.Index, storage.NewStore(res.Pages), res.Pages, res.DocNames)
+	out.stopWords = res.StopWords
+	out.pipe = res.Pipeline
 	if opts.Positional {
 		texts := make([]string, len(docs))
 		for i, d := range docs {
@@ -323,7 +344,7 @@ func (ix *Index) Save(path string) error {
 	if err != nil {
 		return err
 	}
-	return indexfile.SaveFile(path, ix.ix, pages, ix.aux())
+	return indexfile.SaveFile(path, ix.meta(), pages, ix.aux())
 }
 
 // WriteFile persists the index as a paged index file (the BUFIR2
@@ -340,7 +361,7 @@ func (ix *Index) WriteFile(path string, blockSize int) error {
 	if err != nil {
 		return err
 	}
-	return indexfile.WritePageFile(path, ix.ix, pages, ix.aux(), blockSize)
+	return indexfile.WritePageFile(path, ix.meta(), pages, ix.aux(), blockSize)
 }
 
 // OpenIndexFile opens an index written by WriteFile without loading
@@ -351,70 +372,94 @@ func (ix *Index) WriteFile(path string, blockSize int) error {
 // in-memory store; only the physical cost of a miss changes. Close
 // the index when done with it.
 func OpenIndexFile(path string) (*Index, error) {
-	fs, err := storage.OpenFileStore(path, indexfile.PageFileOptions{})
+	return OpenIndexFileOptions(path, FileOptions{})
+}
+
+// FileOptions tunes how a paged index file is accessed.
+type FileOptions struct {
+	// DisableMmap forces the pread access path even where a
+	// memory-mapped view is available — the file-readat backend of the
+	// index conformance suite, and the right choice when the file can
+	// be truncated underneath the process.
+	DisableMmap bool
+}
+
+// OpenIndexFileOptions is OpenIndexFile with explicit access options.
+func OpenIndexFileOptions(path string, opts FileOptions) (*Index, error) {
+	fs, err := storage.OpenFileStore(path, indexfile.PageFileOptions{DisableMmap: opts.DisableMmap})
 	if err != nil {
 		return nil, err
 	}
 	pf := fs.File()
-	out := &Index{
-		ix:    pf.Index,
-		store: fs,
-		conv:  postings.NewConversionTable(pf.Index, postings.DefaultMaxKey),
-	}
+	out := newStaticIndex(pf.Index, fs, nil, nil)
 	out.applyAux(pf.Aux)
 	return out, nil
 }
 
 // Close releases the resources of a file-backed index (OpenIndexFile):
-// the mapping and the file handle. It is a no-op for in-memory
-// indexes, and looks through fault-injection layers. Do not use the
-// index — or sessions, engines and pools created from it — after
-// Close.
+// the mapping and the file handle — of the current generation and, for
+// live indexes, of every generation a merge retired (superseded
+// generation files stay open until Close because queries bound to an
+// old view may still be mid-read when the swap happens). A pending
+// background merge is waited out first. It is a no-op for purely
+// in-memory indexes, and looks through fault-injection and overlay
+// layers. Do not use the index — or sessions, engines and pools
+// created from it — after Close.
 func (ix *Index) Close() error {
-	st := ix.store
-	for {
-		switch s := st.(type) {
-		case *storage.FileStore:
-			return s.Close()
-		case *storage.FaultStore:
-			st = s.Inner()
-		default:
-			return nil
+	ix.mergeWG.Wait()
+	var err error
+	for st := ix.pageStore(); st != nil; st = unwrapStore(st) {
+		if s, ok := st.(*storage.FileStore); ok {
+			err = s.Close()
+			break
 		}
 	}
+	ix.liveMu.Lock()
+	retired := ix.retired
+	ix.retired = nil
+	ix.liveMu.Unlock()
+	for _, c := range retired {
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // aux collects the auxiliary data persisted alongside the postings,
 // nil when there is none.
 func (ix *Index) aux() *indexfile.Aux {
-	if ix.docNames == nil && ix.stopWords == nil {
+	v := ix.view()
+	if v.docNames == nil && ix.stopWords == nil {
 		return nil
 	}
-	return &indexfile.Aux{DocNames: ix.docNames, StopWords: ix.stopWords}
+	return &indexfile.Aux{DocNames: v.docNames, StopWords: ix.stopWords}
 }
 
-// applyAux restores auxiliary data onto a loaded index.
+// applyAux restores auxiliary data onto a freshly constructed index
+// (whose view has not been shared yet).
 func (ix *Index) applyAux(aux *indexfile.Aux) {
 	if aux == nil {
 		return
 	}
-	ix.docNames = aux.DocNames
+	ix.view().docNames = aux.DocNames
 	ix.stopWords = aux.StopWords
 	if aux.DocNames != nil || aux.StopWords != nil {
 		ix.pipe = textproc.NewPipeline(aux.StopWords)
 	}
 }
 
-// pagePayloads returns the raw page payloads, reading them quietly
-// off the backend when the index is itself file-backed (its pages are
-// not resident in memory).
+// pagePayloads returns the current view's raw page payloads, reading
+// them quietly off the backend when the generation is not
+// memory-resident (file-backed stores and live overlays).
 func (ix *Index) pagePayloads() ([][]postings.Entry, error) {
-	if ix.pages != nil {
-		return ix.pages, nil
+	v := ix.view()
+	if v.pages != nil {
+		return v.pages, nil
 	}
-	pages := make([][]postings.Entry, ix.ix.NumPagesTotal)
+	pages := make([][]postings.Entry, v.ix.NumPagesTotal)
 	for i := range pages {
-		p, err := ix.store.ReadQuiet(postings.PageID(i))
+		p, err := v.store.ReadQuiet(postings.PageID(i))
 		if err != nil {
 			return nil, fmt.Errorf("bufir: materializing page %d: %w", i, err)
 		}
@@ -430,43 +475,48 @@ func OpenIndex(path string) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Index{
-		ix:    pix,
-		store: storage.NewStore(pages),
-		conv:  postings.NewConversionTable(pix, postings.DefaultMaxKey),
-		pages: pages,
-	}
+	out := newStaticIndex(pix, storage.NewStore(pages), pages, nil)
 	out.applyAux(aux)
 	return out, nil
 }
 
-// NumDocs returns the collection size N.
-func (ix *Index) NumDocs() int { return ix.ix.NumDocs }
+// NumDocs returns the collection size N (main + delta for live
+// indexes).
+func (ix *Index) NumDocs() int { return ix.meta().NumDocs }
 
 // NumTerms returns the vocabulary size.
-func (ix *Index) NumTerms() int { return len(ix.ix.Terms) }
+func (ix *Index) NumTerms() int { return len(ix.meta().Terms) }
 
 // NumPages returns the total number of inverted-list pages.
-func (ix *Index) NumPages() int { return ix.ix.NumPagesTotal }
+func (ix *Index) NumPages() int { return ix.meta().NumPagesTotal }
 
 // PageSize returns the page capacity in entries.
-func (ix *Index) PageSize() int { return ix.ix.PageSize }
+func (ix *Index) PageSize() int { return ix.meta().PageSize }
 
 // DiskReads returns the cumulative page reads issued to the simulated
-// disk across all sessions of this index.
-func (ix *Index) DiskReads() int64 { return ix.store.Reads() }
+// disk across all sessions of this index — of the current generation:
+// a live commit or merge swap starts a fresh store whose counter
+// starts at zero.
+func (ix *Index) DiskReads() int64 { return ix.pageStore().Reads() }
 
 // SetSimulatedReadLatency makes every page read of an in-memory
 // (simulated-disk) index take d of wall time — the benchmarking knob
 // that puts experiments in the I/O-bound regime the paper's cost model
-// describes. It looks through fault-injection layers and returns false
-// (doing nothing) for file-backed indexes, whose reads cost what the
-// hardware charges.
+// describes. It looks through fault-injection layers, applies to live
+// overlay views (and is remembered, so every subsequently published
+// generation inherits it), and returns false (doing nothing) for
+// file-backed indexes, whose reads cost what the hardware charges.
 func (ix *Index) SetSimulatedReadLatency(d time.Duration) bool {
-	st := ix.store
+	ix.liveMu.Lock()
+	ix.simLatency = d
+	ix.liveMu.Unlock()
+	st := ix.pageStore()
 	for {
 		switch s := st.(type) {
 		case *storage.Store:
+			s.SetReadLatency(d)
+			return true
+		case *livedex.Overlay:
 			s.SetReadLatency(d)
 			return true
 		case *storage.FaultStore:
@@ -477,8 +527,31 @@ func (ix *Index) SetSimulatedReadLatency(d time.Duration) bool {
 	}
 }
 
-// ResetDiskReads zeroes the disk-read counter.
-func (ix *Index) ResetDiskReads() { ix.store.ResetReads() }
+// applySimLatency re-applies a remembered simulated latency to a
+// not-yet-published view's store (called with liveMu held).
+func applySimLatency(st storage.PageStore, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for {
+		switch s := st.(type) {
+		case *storage.Store:
+			s.SetReadLatency(d)
+			return
+		case *livedex.Overlay:
+			s.SetReadLatency(d)
+			return
+		case *storage.FaultStore:
+			st = s.Inner()
+		default:
+			return
+		}
+	}
+}
+
+// ResetDiskReads zeroes the disk-read counter of the current
+// generation's store.
+func (ix *Index) ResetDiskReads() { ix.pageStore().ResetReads() }
 
 // FaultStats counts the faults an InjectFaults schedule actually
 // injected, by kind.
@@ -500,28 +573,48 @@ type FaultStats = storage.FaultStats
 //	ix.InjectFaults("latency:prob=0.05,spike=5ms", 7) // slow 5% of reads
 //
 // Call before creating sessions, engines or pools — they capture the
-// store at construction and keep reading the unwrapped disk otherwise.
-// Pair with FaultToleranceOptions (retry/backoff) and
-// EvalOptions.FaultBudget (degrade instead of error) to ride the
-// faults out.
+// store at construction and keep reading the unwrapped disk otherwise
+// (Engine and Session rebind when the view changes, so they do pick
+// the fault layer up at their next query). Pair with
+// FaultToleranceOptions (retry/backoff) and EvalOptions.FaultBudget
+// (degrade instead of error) to ride the faults out.
+//
+// On a live index the schedule persists across generations: every
+// commit and merge swap wraps its freshly published store in a new
+// fault layer with the same rules and seed (per-page read ordinals
+// restart with each generation).
 func (ix *Index) InjectFaults(schedule string, seed uint64) error {
 	rules, err := storage.ParseFaultSchedule(schedule)
 	if err != nil {
 		return err
 	}
-	fs, err := storage.NewFaultStore(ix.store, seed, rules)
+	ix.liveMu.Lock()
+	defer ix.liveMu.Unlock()
+	v := ix.view()
+	base := v.store
+	if fs, ok := base.(*storage.FaultStore); ok {
+		base = fs.Inner()
+	}
+	fs, err := storage.NewFaultStore(base, seed, rules)
 	if err != nil {
 		return err
 	}
-	ix.store = fs
+	ix.faultRules = rules
+	ix.faultSeed = seed
+	// Republish at the same epoch: the logical generation is unchanged,
+	// but the view pointer moves so bound sessions pick the layer up.
+	nv := *v
+	nv.store = fs
+	ix.publish(&nv)
 	return nil
 }
 
 // FaultStats reports how many faults the InjectFaults layer has
 // injected so far, by kind (zero value when InjectFaults was never
-// called).
+// called). On a live index the counts are those of the current
+// generation's fault layer.
 func (ix *Index) FaultStats() FaultStats {
-	if fs, ok := ix.store.(*storage.FaultStore); ok {
+	if fs, ok := ix.pageStore().(*storage.FaultStore); ok {
 		return fs.FaultStats()
 	}
 	return FaultStats{}
@@ -531,38 +624,39 @@ func (ix *Index) FaultStats() FaultStats {
 // collections; raw terms are resolved through the pipeline for
 // document-built indexes).
 func (ix *Index) LookupTerm(term string) (TermID, bool) {
-	if id, ok := ix.ix.LookupTerm(term); ok {
+	m := ix.meta()
+	if id, ok := m.LookupTerm(term); ok {
 		return id, true
 	}
 	if ix.pipe != nil {
 		if ts := ix.pipe.Terms(term); len(ts) == 1 {
-			return ix.ix.LookupTerm(ts[0])
+			return m.LookupTerm(ts[0])
 		}
 	}
 	return 0, false
 }
 
 // TermName returns the indexed name of a term.
-func (ix *Index) TermName(t TermID) string { return ix.ix.Terms[t].Name }
+func (ix *Index) TermName(t TermID) string { return ix.meta().Terms[t].Name }
 
 // TermIDF returns idf_t = log2(N/f_t).
-func (ix *Index) TermIDF(t TermID) float64 { return ix.ix.IDF(t) }
+func (ix *Index) TermIDF(t TermID) float64 { return ix.meta().IDF(t) }
 
 // TermPages returns the length of term t's inverted list in pages.
-func (ix *Index) TermPages(t TermID) int { return ix.ix.Terms[t].NumPages }
+func (ix *Index) TermPages(t TermID) int { return ix.meta().Terms[t].NumPages }
 
 // DocName returns the external name of a document for document-built
 // indexes, or a synthetic "doc<N>" name otherwise.
 func (ix *Index) DocName(d DocID) string {
-	if ix.docNames != nil && int(d) < len(ix.docNames) {
-		return ix.docNames[d]
+	if names := ix.view().docNames; names != nil && int(d) < len(names) {
+		return names[d]
 	}
 	return fmt.Sprintf("doc%d", d)
 }
 
 // TopicQuery resolves a topic's terms into a Query.
 func (ix *Index) TopicQuery(t Topic) (Query, error) {
-	return refine.QueryFromTopic(ix.ix, t)
+	return refine.QueryFromTopic(ix.meta(), t)
 }
 
 // ParseQuery turns free text into a Query using the index's lexical
@@ -573,9 +667,10 @@ func (ix *Index) ParseQuery(text string) (Query, error) {
 	if ix.pipe == nil {
 		return nil, fmt.Errorf("bufir: ParseQuery requires a document-built index; use TopicQuery or explicit QueryTerms")
 	}
+	m := ix.meta()
 	var q Query
 	for term, f := range ix.pipe.CountTerms(text) {
-		if id, ok := ix.ix.LookupTerm(term); ok {
+		if id, ok := m.LookupTerm(term); ok {
 			q = append(q, QueryTerm{Term: id, Fqt: f})
 		}
 	}
@@ -615,11 +710,25 @@ type SessionConfig struct {
 
 // Session is a search session: an Index plus a private buffer pool.
 // Sessions are not safe for concurrent use; create one per user.
+//
+// A session binds to one published view of its index at a time. When
+// the index moves on (live commit, merge swap, InjectFaults), the next
+// Search rebinds: a fresh buffer pool over the new generation's store
+// — cold by construction, so no frame ever carries a stale
+// generation's page — and a fresh evaluator over its metadata and
+// conversion table. Mid-query the binding never changes: each
+// evaluation runs entirely against the view it started on, and its
+// Result is stamped with that view's epoch.
 type Session struct {
-	ix   *Index
-	ev   *eval.Evaluator
-	mgr  *buffer.Manager
-	algo Algorithm
+	ix    *Index
+	rc    resolvedConfig
+	fault FaultToleranceOptions
+	algo  Algorithm
+
+	// Current binding (rebuilt by rebind when ix publishes a new view).
+	v   *idxView
+	ev  *eval.Evaluator
+	mgr *buffer.Manager
 }
 
 // NewSession creates a session over the index.
@@ -628,17 +737,43 @@ func (ix *Index) NewSession(cfg SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	mgr, err := buffer.NewManager(rc.bufferPages, ix.store, ix.ix, rc.newPolicy(rc.bufferPages))
-	if err != nil {
+	s := &Session{ix: ix, rc: rc, fault: cfg.Fault, algo: cfg.method()}
+	if err := s.bind(ix.view()); err != nil {
 		return nil, err
 	}
-	applyFaultOptions(mgr, cfg.Fault, nil)
-	ev, err := eval.NewEvaluator(ix.ix, mgr, ix.conv, rc.params)
-	if err != nil {
-		return nil, err
-	}
-	return &Session{ix: ix, ev: ev, mgr: mgr, algo: cfg.method()}, nil
+	return s, nil
 }
+
+// bind (re)builds the session's pool and evaluator against view v.
+func (s *Session) bind(v *idxView) error {
+	mgr, err := buffer.NewManager(s.rc.bufferPages, v.store, v.ix, s.rc.newPolicy(s.rc.bufferPages))
+	if err != nil {
+		return err
+	}
+	applyFaultOptions(mgr, s.fault, nil)
+	ev, err := eval.NewEvaluator(v.ix, mgr, v.conv, s.rc.params)
+	if err != nil {
+		return err
+	}
+	s.v, s.mgr, s.ev = v, mgr, ev
+	return nil
+}
+
+// rebind refreshes the binding if the index has published a new view
+// since the session last looked. The view pointer, not the epoch, is
+// the identity: a same-epoch republication (InjectFaults) also
+// rebinds.
+func (s *Session) rebind() error {
+	if v := s.ix.view(); v != s.v {
+		return s.bind(v)
+	}
+	return nil
+}
+
+// Epoch returns the index generation the session is currently bound
+// to (the epoch its next Search will run at, barring a concurrent
+// publication).
+func (s *Session) Epoch() uint64 { return s.v.epoch }
 
 // Search is an exact alias of SearchContext with context.Background():
 // identical evaluation on every path — the only difference is that a
@@ -654,7 +789,14 @@ func (s *Session) Search(q Query) (*Result, error) {
 // anytime partial answer is returned alongside it (Result.Partial
 // set); see Result.
 func (s *Session) SearchContext(ctx context.Context, q Query) (*Result, error) {
-	return s.ev.EvaluateContext(ctx, s.algo, q)
+	if err := s.rebind(); err != nil {
+		return nil, err
+	}
+	res, err := s.ev.EvaluateContext(ctx, s.algo, q)
+	if res != nil {
+		res.Epoch = s.v.epoch
+	}
+	return res, err
 }
 
 // SearchText parses free text through the index's pipeline and
@@ -767,7 +909,8 @@ func (s *Session) BufferedPages(t TermID) int { return s.mgr.ResidentPages(t) }
 // unoptimized evaluation of the query. This is the basis for
 // refinement sequences.
 func (ix *Index) RankTermsByContribution(q Query) ([]RankedTerm, error) {
-	ev, err := ix.fullEvaluator()
+	v := ix.view()
+	ev, err := fullEvaluator(v)
 	if err != nil {
 		return nil, err
 	}
@@ -775,7 +918,7 @@ func (ix *Index) RankTermsByContribution(q Query) ([]RankedTerm, error) {
 	if err != nil {
 		return nil, err
 	}
-	return refine.RankByContribution(ix.ix, ix.store, q, res.Top)
+	return refine.RankByContribution(v.ix, v.store, q, res.Top)
 }
 
 // BuildRefinementSequence derives an ADD-ONLY or ADD-DROP refinement
@@ -789,11 +932,12 @@ func BuildRefinementSequence(topicID int, kind RefinementKind, ranked []RankedTe
 // with the Rocchio-strongest terms of the current answer's top
 // documents, evaluated exhaustively offline.
 func (ix *Index) BuildFeedbackSequence(initial Query, opts FeedbackOptions) (*RefinementSequence, error) {
-	ev, err := ix.fullEvaluator()
+	v := ix.view()
+	ev, err := fullEvaluator(v)
 	if err != nil {
 		return nil, err
 	}
-	return refine.FeedbackSequence(ix.ix, ix.store, initial, opts,
+	return refine.FeedbackSequence(v.ix, v.store, initial, opts,
 		func(q Query) ([]ScoredDoc, error) {
 			res, err := ev.Evaluate(eval.DF, q)
 			if err != nil {
@@ -803,14 +947,14 @@ func (ix *Index) BuildFeedbackSequence(initial Query, opts FeedbackOptions) (*Re
 		})
 }
 
-// fullEvaluator builds a throwaway exhaustive evaluator with ample
-// buffers for offline computations.
-func (ix *Index) fullEvaluator() (*eval.Evaluator, error) {
-	mgr, err := buffer.NewManager(ix.ix.NumPagesTotal+1, ix.store, ix.ix, buffer.NewLRU())
+// fullEvaluator builds a throwaway exhaustive evaluator over one view
+// with ample buffers for offline computations.
+func fullEvaluator(v *idxView) (*eval.Evaluator, error) {
+	mgr, err := buffer.NewManager(v.ix.NumPagesTotal+1, v.store, v.ix, buffer.NewLRU())
 	if err != nil {
 		return nil, err
 	}
-	return eval.NewEvaluator(ix.ix, mgr, ix.conv, eval.Params{TopN: 20})
+	return eval.NewEvaluator(v.ix, mgr, v.conv, eval.Params{TopN: 20})
 }
 
 // AveragePrecision computes non-interpolated average precision of a

@@ -13,7 +13,7 @@
 //	fig3 fig4 table4 table5 table12 table6 fig5 fig6 table7 fig7 fig8
 //	multiuser concurrency lifecycle faults obs shards drift ablations
 //	baselines compression feedback docsorted weblegend boolean dualbuf
-//	summary effect refine-incr ranksafe
+//	summary effect refine-incr ranksafe ingest
 //
 // (fig56/fig78 are aliases for the figure pairs; default "all").
 // concurrency sweeps -workers over the E12 workload with -cusers
@@ -55,6 +55,15 @@
 // scatter-gather Router, reporting QPS, p50/p99 and speedup; with
 // -benchjson FILE the sweep is persisted as JSON (make bench-serve
 // writes BENCH_serve.json this way).
+// ingest runs the E28 live-ingestion study: one engine with -cusers
+// readers serves the topic workload through a frozen phase, a steady
+// ingestion phase (a writer appending documents to the delta index),
+// and a merge storm (ingestion plus frequent generational
+// compactions), reporting per-phase QPS and overlap@20 against the
+// frozen answers plus the exactness verdict (merged generation
+// bit-identical to a pure-delta replay); -ingestq sets the queries
+// per phase, and with -benchjson FILE the run is persisted (make
+// bench-ingest writes BENCH_ingest.json this way).
 package main
 
 import (
@@ -94,6 +103,7 @@ func main() {
 		shardcnts = flag.String("shardcounts", "1,2,4,8,16", "shard counts swept by the shards experiment")
 		passes    = flag.Int("passes", 2, "workload passes per user in the shards experiment")
 		benchjson = flag.String("benchjson", "", "write machine-readable results of JSON-capable experiments to this file")
+		ingestq   = flag.Int("ingestq", 400, "queries per phase in the ingest experiment")
 	)
 	flag.Parse()
 
@@ -247,6 +257,7 @@ func main() {
 	run("effect", func() (formatter, error) { return env.RunEffectiveness(effTopics(*topics), 4) })
 	run("refine-incr", func() (formatter, error) { return env.RunRefineIncr(*topics) })
 	run("ranksafe", func() (formatter, error) { return env.RunRankSafe(*points) })
+	run("ingest", func() (formatter, error) { return env.RunIngest(*cusers, *ingestq) })
 
 	fmt.Fprintf(w, "total time %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -10,6 +10,7 @@
 //	        [-workers N] [-buffers N] [-policy LRU|MRU|RAP]
 //	        [-algo DF|BAF|TA|NRA|MAXSCORE] [-topn N] [-maxqueue N]
 //	        [-timeout DUR] [-shardtimeout DUR] [-obs ADDR]
+//	        [-live] [-automerge N]
 //
 // -index takes everything bufir.Open does: "synth:SCALE[:SEED]" for a
 // generated collection, a blob or paged index file, or a directory of
@@ -19,9 +20,19 @@
 //
 // Endpoints:
 //
-//	GET /search?q=TERMS[&user=N][&k=N][&refine=1]  ranked answer (JSON)
-//	GET /healthz                                   liveness + shard count
-//	GET /stats                                     serving counters (JSON)
+//	GET  /search?q=TERMS[&user=N][&k=N][&refine=1]  ranked answer (JSON)
+//	GET  /healthz                                   liveness + shard count + epoch
+//	GET  /stats                                     serving counters + epoch (JSON)
+//	POST /ingest                                    add a document (requires -live);
+//	                                                body {"name": "...", "text": "..."}
+//	POST /merge                                     compact pending deltas on every shard
+//
+// With -live the deployment accepts documents while serving: each
+// POST /ingest tokenizes the body, appends it to the owning shard's
+// delta index and publishes a new generation, so queries admitted
+// after the response see the document. -automerge N compacts a
+// shard's delta into a new main generation in the background once it
+// holds N documents; POST /merge forces compaction everywhere.
 //
 // With -obs ADDR the Prometheus /metrics and JSON /statusz endpoints
 // (including per-shard gauges for a sharded deployment) are served on
@@ -56,6 +67,8 @@ func main() {
 		timeout      = flag.Duration("timeout", 0, "per-request deadline, 0 = none (expired requests return their anytime answer)")
 		shardTimeout = flag.Duration("shardtimeout", 0, "per-shard budget inside a request, 0 = none")
 		obsAddr      = flag.String("obs", "", "observability endpoint address (/metrics, /statusz); empty = off")
+		live         = flag.Bool("live", false, "accept POST /ingest: serve queries while documents arrive")
+		autoMerge    = flag.Int("automerge", 0, "with -live, background-merge a shard's delta once it holds N documents (0 = manual /merge only)")
 	)
 	flag.Parse()
 
@@ -81,6 +94,11 @@ func main() {
 		log.Fatal(err)
 	}
 	defer svc.Close()
+	if *live {
+		if err := svc.EnableLiveUpdates(bufir.LiveOptions{AutoMergeDocs: *autoMerge}); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	log.Printf("serving %s (%d shard(s)) on %s", *index, svc.NumShards(), *addr)
 	if svc.ObsAddr() != "" {

@@ -34,10 +34,27 @@ type hit struct {
 }
 
 // statsResponse is the /stats answer: the deployment's own counters
-// plus each partition engine's.
+// plus each partition engine's, and the current index generation
+// (the maximum across shards for a sharded deployment).
 type statsResponse struct {
+	Epoch   uint64              `json:"epoch"`
 	Serving bufir.EngineStats   `json:"serving"`
 	Shards  []bufir.EngineStats `json:"shards"`
+}
+
+// ingestRequest is the POST /ingest body.
+type ingestRequest struct {
+	Name string `json:"name"`
+	Text string `json:"text"`
+}
+
+// ingestResponse is the POST /ingest answer. Doc is the per-shard
+// DocID the document was assigned (shards keep independent DocID
+// spaces; Doc identifies the document only together with its owning
+// shard).
+type ingestResponse struct {
+	Doc   int    `json:"doc"`
+	Epoch uint64 `json:"epoch"`
 }
 
 // newMux builds the serving mux over an open deployment. Factored out
@@ -48,12 +65,44 @@ func newMux(svc *bufir.Service) *http.ServeMux {
 		handleSearch(svc, w, r)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "shards": svc.NumShards()})
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "shards": svc.NumShards(), "epoch": svc.Epoch()})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, statsResponse{Serving: svc.Stats(), Shards: svc.ShardStats()})
+		writeJSON(w, http.StatusOK, statsResponse{Epoch: svc.Epoch(), Serving: svc.Stats(), Shards: svc.ShardStats()})
+	})
+	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+		handleIngest(svc, w, r)
+	})
+	mux.HandleFunc("POST /merge", func(w http.ResponseWriter, r *http.Request) {
+		if err := svc.MergeContext(r.Context()); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"epoch": svc.Epoch()})
 	})
 	return mux
+}
+
+// handleIngest adds one document to the deployment (requires -live).
+// Queries admitted after the response see the document.
+func handleIngest(svc *bufir.Service, w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Text == "" {
+		http.Error(w, "missing text field", http.StatusBadRequest)
+		return
+	}
+	doc, err := svc.IngestContext(r.Context(), bufir.Document{Name: req.Name, Text: req.Text})
+	if err != nil {
+		// The one expected failure is a read-only deployment (irserve
+		// started without -live).
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{Doc: int(doc), Epoch: svc.Epoch()})
 }
 
 func handleSearch(svc *bufir.Service, w http.ResponseWriter, r *http.Request) {

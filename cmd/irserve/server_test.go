@@ -163,3 +163,89 @@ func TestSearchErrors(t *testing.T) {
 		t.Errorf("/stats status %d", status)
 	}
 }
+
+func post(t *testing.T, srv *httptest.Server, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// End-to-end live ingestion through the HTTP tier: a document POSTed
+// to /ingest is searchable on the next request, the epoch advances,
+// and /merge compacts without changing the answer.
+func TestIngestEndpoint(t *testing.T) {
+	svc := testService(t, 1)
+	if err := svc.EnableLiveUpdates(bufir.LiveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(svc))
+	defer srv.Close()
+
+	// A term absent from the synthetic vocabulary: after ingestion the
+	// new document is its only (and top) match.
+	const term = "zephyrine"
+	status, body := post(t, srv, "/ingest", `{"name": "fresh", "text": "`+term+` `+term+`"}`)
+	if status != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", status, body)
+	}
+	var ing ingestResponse
+	if err := json.Unmarshal(body, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Epoch == 0 {
+		t.Fatalf("epoch did not advance: %+v", ing)
+	}
+
+	find := func() searchResponse {
+		status, body := get(t, srv, "/search?q="+term)
+		if status != http.StatusOK {
+			t.Fatalf("search status %d: %s", status, body)
+		}
+		var res searchResponse
+		if err := json.Unmarshal(body, &res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	found := func(res searchResponse) bool {
+		for _, h := range res.Results {
+			if h.Name == "fresh" {
+				return true
+			}
+		}
+		return false
+	}
+	if res := find(); !found(res) {
+		t.Fatalf("ingested document not in answer: %+v", res)
+	}
+
+	status, body = post(t, srv, "/merge", "")
+	if status != http.StatusOK {
+		t.Fatalf("merge status %d: %s", status, body)
+	}
+	if res := find(); !found(res) {
+		t.Fatalf("document lost after merge: %+v", res)
+	}
+
+	// Malformed and read-only failures.
+	if status, _ := post(t, srv, "/ingest", "{nope"); status != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d", status)
+	}
+	if status, _ := post(t, srv, "/ingest", `{"name": "x"}`); status != http.StatusBadRequest {
+		t.Errorf("empty text: status %d", status)
+	}
+	frozen := testService(t, 1)
+	frozenSrv := httptest.NewServer(newMux(frozen))
+	defer frozenSrv.Close()
+	if status, _ := post(t, frozenSrv, "/ingest", `{"name": "x", "text": "y"}`); status != http.StatusConflict {
+		t.Errorf("read-only ingest: status %d", status)
+	}
+}

@@ -3,6 +3,7 @@ package bufir
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"bufir/internal/buffer"
@@ -133,8 +134,68 @@ type EngineStats = metrics.ServingSnapshot
 // SearchContext, and Shutdown.
 type Engine struct {
 	inner *engine.Engine
-	pool  *buffer.SharedPool
+	ix    *Index
 	obs   obs.HTTPServer // nil unless ObsOptions.Addr was set
+}
+
+// poolSource adapts an Index to the internal engine's Source: one
+// shared buffer pool per published view, built lazily under a mutex
+// the first time a worker (or the obs path) asks after a publication.
+// A new pool starts cold — the generation-tagged invalidation the
+// live-update design requires falls out of pool-per-view construction:
+// no frame of the old generation is reachable through the new pool.
+// The remembered fault-tolerance options (and the engine's retry
+// hook, once installed) are re-applied to every pool.
+type poolSource struct {
+	ix     *Index
+	rc     resolvedConfig
+	shards int
+	fault  FaultToleranceOptions
+
+	mu      sync.Mutex
+	v       *idxView
+	b       engine.Binding
+	onRetry func(time.Duration)
+}
+
+// Binding returns the binding of the index's current view, building
+// its pool on first sight. On pool-construction failure the last good
+// binding is returned alongside the error (per the Source contract).
+func (ps *poolSource) Binding() (engine.Binding, error) {
+	v := ps.ix.view()
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if v == ps.v {
+		return ps.b, nil
+	}
+	pool, err := ps.newPool(v)
+	if err != nil {
+		return ps.b, err
+	}
+	applyFaultOptions(pool, ps.fault, ps.onRetry)
+	ps.v = v
+	ps.b = engine.Binding{Epoch: v.epoch, Key: v, Ix: v.ix, Conv: v.conv, Pool: pool}
+	return ps.b, nil
+}
+
+func (ps *poolSource) newPool(v *idxView) (*buffer.SharedPool, error) {
+	if ps.shards == 1 {
+		return buffer.NewSharedPool(ps.rc.bufferPages, v.store, v.ix, ps.rc.newPolicy(ps.rc.bufferPages))
+	}
+	return buffer.NewShardedSharedPool(ps.rc.bufferPages, ps.shards, v.store, v.ix, ps.rc.newPolicy)
+}
+
+// setOnRetry installs the engine's retry hook — the engine is
+// constructed after the first pool, so the hook arrives late — and
+// re-applies the fault options to the current pool so it feeds the
+// serving counters too.
+func (ps *poolSource) setOnRetry(onRetry func(time.Duration)) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.onRetry = onRetry
+	if ps.b.Pool != nil {
+		applyFaultOptions(ps.b.Pool, ps.fault, onRetry)
+	}
 }
 
 // Ticket is a handle on a submitted request.
@@ -165,16 +226,8 @@ func (ix *Index) NewEngine(cfg EngineConfig) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	var pool *buffer.SharedPool
-	if cfg.Shards == 1 {
-		pool, err = buffer.NewSharedPool(rc.bufferPages, ix.store, ix.ix, rc.newPolicy(rc.bufferPages))
-	} else {
-		pool, err = buffer.NewShardedSharedPool(rc.bufferPages, cfg.Shards, ix.store, ix.ix, rc.newPolicy)
-	}
-	if err != nil {
-		return nil, err
-	}
-	inner, err := engine.New(ix.ix, ix.conv, pool, engine.Config{
+	src := &poolSource{ix: ix, rc: rc, shards: cfg.Shards, fault: cfg.Fault}
+	inner, err := engine.NewWithSource(src, engine.Config{
 		Workers:      cfg.Workers,
 		Algo:         cfg.method(),
 		Params:       rc.params,
@@ -189,10 +242,10 @@ func (ix *Index) NewEngine(cfg EngineConfig) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Installed after engine.New so the OnRetry hook can feed the
-	// serving counters, but before any request can run.
-	applyFaultOptions(pool, cfg.Fault, inner.RecordRetry)
-	e := &Engine{inner: inner, pool: pool}
+	// Installed after engine construction so the OnRetry hook can feed
+	// the serving counters, but before any request can run.
+	src.setOnRetry(inner.RecordRetry)
+	e := &Engine{inner: inner, ix: ix}
 	if cfg.Obs.Addr != "" {
 		srv, err := obs.StartHTTPServer(cfg.Obs.Addr, inner)
 		if err != nil {
@@ -268,6 +321,34 @@ func (e *Engine) SubmitContext(ctx context.Context, user int, q Query) (*Ticket,
 func (e *Engine) RefineContext(ctx context.Context, user int, q Query) (*Result, error) {
 	return e.inner.SearchContext(ctx, user, q)
 }
+
+// IngestContext adds one document to the engine's index (which must
+// have live updates enabled — see Index.EnableLiveUpdates),
+// publishing a new generation. In-flight queries finish on the
+// generation they started on; every session rebinds — fresh pool,
+// fresh evaluator — before its next request, so no query ever mixes
+// generations. An already-dead ctx refuses before any work; ingestion
+// itself is synchronous and not cancelable mid-commit (commits are
+// atomic: they publish entirely or not at all).
+func (e *Engine) IngestContext(ctx context.Context, doc Document) (DocID, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return e.ix.AddDocument(doc)
+}
+
+// MergeContext compacts the index's pending delta into a new main
+// generation (no-op when nothing is pending). Queries keep flowing
+// throughout; concurrent ingestion waits for the merge.
+func (e *Engine) MergeContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return e.ix.Merge()
+}
+
+// Epoch reports the index's current generation number.
+func (e *Engine) Epoch() uint64 { return e.ix.Epoch() }
 
 // Stats returns the engine's atomic serving counters.
 func (e *Engine) Stats() EngineStats { return e.inner.Counters() }

@@ -146,13 +146,60 @@ func (j *Job) Service() time.Duration { return j.service }
 // job — valid after Wait returns.
 func (j *Job) QueueWait() time.Duration { return j.wait }
 
+// Binding is one index generation as the engine consumes it: the
+// metadata, conversion table and shared buffer pool of a single
+// published view, plus the identity that tells sessions when to
+// rebind. All requests evaluated under one Binding read one
+// generation — the pool is per-binding, so no frame ever mixes pages
+// of two generations.
+type Binding struct {
+	// Epoch is the generation number results are stamped with.
+	Epoch uint64
+	// Key is the binding identity: comparable, changes exactly when
+	// sessions must rebind (a new Key can carry the same Epoch — e.g.
+	// a fault-layer rewrap of the same logical generation).
+	Key any
+	// Ix and Conv are the generation's metadata and RAP conversion
+	// table; Pool is the shared buffer pool serving its pages.
+	Ix   *postings.Index
+	Conv *postings.ConversionTable
+	Pool *buffer.SharedPool
+}
+
+// Source yields the current Binding. Implementations must be safe for
+// concurrent use and cheap when the binding is unchanged (workers
+// consult it per request). On error a Source still returns its last
+// good Binding so observability paths keep a pool to report on.
+type Source interface {
+	Binding() (Binding, error)
+}
+
+// staticSource is the Source of an index that never changes — the
+// historical engine construction path.
+type staticSource struct{ b Binding }
+
+func (s staticSource) Binding() (Binding, error) { return s.b, nil }
+
+// StaticSource wraps a fixed binding as a Source. A nil Key defaults
+// to the pool pointer (any per-construction unique comparable works).
+func StaticSource(b Binding) Source {
+	if b.Key == nil {
+		b.Key = b.Pool
+	}
+	return staticSource{b: b}
+}
+
 // userState is one user's session: a registry view on the shared pool
-// and a (re-entrant) evaluator. tail chains the user's jobs so they
-// execute in submission order.
+// and a (re-entrant) evaluator, bound to one Binding at a time (key
+// and epoch identify it; the worker rebinds between jobs when the
+// Source moves on). tail chains the user's jobs so they execute in
+// submission order.
 type userState struct {
-	view *buffer.UserView
-	ev   *eval.Evaluator
-	tail chan struct{}
+	view  *buffer.UserView
+	ev    *eval.Evaluator
+	key   any
+	epoch uint64
+	tail  chan struct{}
 
 	// Refinement-reuse state (Config.Refine): the snapshot of the
 	// user's last completed evaluation and the canonical query that
@@ -169,10 +216,8 @@ type userState struct {
 // Shutdown with a deadline) when done so sessions withdraw from the
 // shared pool's query registry.
 type Engine struct {
-	pool *buffer.SharedPool
-	ix   *postings.Index
-	conv *postings.ConversionTable
-	cfg  Config
+	src Source
+	cfg Config
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -207,10 +252,28 @@ type Engine struct {
 var _ obs.Source = (*Engine)(nil)
 
 // New starts an engine with cfg.Workers goroutines serving queries
-// against the shared pool.
+// against the shared pool of a fixed index generation.
 func New(ix *postings.Index, conv *postings.ConversionTable, pool *buffer.SharedPool, cfg Config) (*Engine, error) {
 	if ix == nil || conv == nil || pool == nil {
 		return nil, errors.New("engine: nil index, conversion table or pool")
+	}
+	return NewWithSource(StaticSource(Binding{Ix: ix, Conv: conv, Pool: pool}), cfg)
+}
+
+// NewWithSource starts an engine whose index generation is supplied
+// per request by src: a live index's Source publishes a new Binding
+// per commit or merge swap, and each user session rebinds — fresh
+// registry view, fresh evaluator, carried refinement snapshot dropped
+// — before its next job runs. src is consulted once here so a broken
+// initial binding fails construction, not the first query.
+func NewWithSource(src Source, cfg Config) (*Engine, error) {
+	if src == nil {
+		return nil, errors.New("engine: nil source")
+	}
+	if b, err := src.Binding(); err != nil {
+		return nil, err
+	} else if b.Ix == nil || b.Conv == nil || b.Pool == nil || b.Key == nil {
+		return nil, errors.New("engine: source binding missing index, conversion table, pool or key")
 	}
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("engine: workers %d < 1", cfg.Workers)
@@ -233,9 +296,7 @@ func New(ix *postings.Index, conv *postings.ConversionTable, pool *buffer.Shared
 	}
 	stopCtx, stopCancel := context.WithCancel(context.Background())
 	e := &Engine{
-		pool:       pool,
-		ix:         ix,
-		conv:       conv,
+		src:        src,
 		cfg:        cfg,
 		queue:      make(chan *Job, depth),
 		stopCtx:    stopCtx,
@@ -340,14 +401,48 @@ func (e *Engine) userLocked(user int) (*userState, error) {
 	if us, ok := e.users[user]; ok {
 		return us, nil
 	}
-	view := e.pool.UserView(user)
-	ev, err := eval.NewEvaluator(e.ix, view, e.conv, e.cfg.Params)
+	b, err := e.src.Binding()
 	if err != nil {
 		return nil, err
 	}
-	us := &userState{view: view, ev: ev}
+	view := b.Pool.UserView(user)
+	ev, err := eval.NewEvaluator(b.Ix, view, b.Conv, e.cfg.Params)
+	if err != nil {
+		view.Close()
+		return nil, err
+	}
+	us := &userState{view: view, ev: ev, key: b.Key, epoch: b.Epoch}
 	e.users[user] = us
 	return us, nil
+}
+
+// rebind refreshes us against the Source's current binding if it has
+// moved since the user's last job: the old registry view is withdrawn,
+// a fresh view and evaluator are built over the new generation's pool,
+// and any carried refinement snapshot dies (it indexes the old
+// generation's statistics). Called only by the worker executing the
+// user's current job — the done-channel chain makes that exclusive.
+func (e *Engine) rebind(us *userState, user int) error {
+	b, err := e.src.Binding()
+	if err != nil {
+		return err
+	}
+	if us.key == b.Key {
+		return nil
+	}
+	view := b.Pool.UserView(user)
+	ev, err := eval.NewEvaluator(b.Ix, view, b.Conv, e.cfg.Params)
+	if err != nil {
+		view.Close()
+		return err
+	}
+	us.view.Close()
+	us.view, us.ev, us.key, us.epoch = view, ev, b.Key, b.Epoch
+	if us.lastSnap != nil {
+		us.lastSnap, us.lastQuery = nil, nil
+		e.counters.RefineInvalidations.Add(1)
+	}
+	return nil
 }
 
 // worker drains the queue. A job whose same-user predecessor is still
@@ -371,10 +466,18 @@ func (e *Engine) worker() {
 		var res *eval.Result
 		err := j.ctx.Err()
 		if err == nil {
+			err = e.rebind(j.us, j.User)
+		}
+		if err == nil {
 			if e.cfg.Refine.enabled() {
 				res, err = e.refineEvaluate(j)
 			} else {
 				res, err = j.us.ev.EvaluateContext(j.ctx, e.cfg.Algo, j.Query)
+			}
+			if res != nil {
+				// The whole evaluation ran against the binding rebind
+				// installed; stamp its generation on the answer.
+				res.Epoch = j.us.epoch
 			}
 		}
 		j.service = time.Since(start)
@@ -452,7 +555,7 @@ func (e *Engine) RecordRetry(wait time.Duration) {
 // a time. Exact at quiescence, approximate mid-flight — both are fine
 // for /metrics scrapes and experiment reports.
 func (e *Engine) ObsSnapshot() obs.Snapshot {
-	mgr := e.pool.Manager()
+	mgr := e.currentPool().Manager()
 	st := mgr.Stats()
 	return obs.Snapshot{
 		Serving: e.counters.Snapshot(),
@@ -495,11 +598,19 @@ func adaptiveGauges(mgr buffer.PoolManager) *obs.AdaptivePolicyGauges {
 	}
 }
 
-// BufferStats returns the shared pool's counters.
-func (e *Engine) BufferStats() buffer.Stats { return e.pool.Manager().Stats() }
+// currentPool returns the Source's current pool (falling back to the
+// last good binding on Source error, per the Source contract).
+func (e *Engine) currentPool() *buffer.SharedPool {
+	b, _ := e.src.Binding()
+	return b.Pool
+}
 
-// Pool returns the shared pool the engine serves from.
-func (e *Engine) Pool() *buffer.SharedPool { return e.pool }
+// BufferStats returns the current generation's shared-pool counters.
+func (e *Engine) BufferStats() buffer.Stats { return e.currentPool().Manager().Stats() }
+
+// Pool returns the shared pool the engine currently serves from (the
+// current generation's; a live swap replaces it).
+func (e *Engine) Pool() *buffer.SharedPool { return e.currentPool() }
 
 // Close drains the queue, stops the workers, and withdraws every
 // session from the shared registry, waiting as long as that takes.

@@ -45,13 +45,18 @@ func (rc RefineConfig) capacity() int {
 }
 
 // refineKey identifies a cached result: one user's canonicalized
-// query. Results are kept per-user — the cache mirrors the paper's
-// per-user refinement sessions, and a user's resubmission hitting
-// another user's entry would cross request-isolation lines the rest
-// of the engine maintains.
+// query at one index epoch. Results are kept per-user — the cache
+// mirrors the paper's per-user refinement sessions, and a user's
+// resubmission hitting another user's entry would cross
+// request-isolation lines the rest of the engine maintains. The epoch
+// is the staleness guard: a result computed against generation e must
+// never answer a resubmission after a live commit or merge moved the
+// index to e+1 (scores, and even the matching document set, may have
+// changed). Stale entries age out of the LRU on their own.
 type refineKey struct {
-	user int
-	key  uint64
+	user  int
+	epoch uint64
+	key   uint64
 }
 
 // refineEntry is one cached outcome: the completed result and the
@@ -135,6 +140,7 @@ func cachedCopy(orig *eval.Result) *eval.Result {
 		Top:          append([]rank.ScoredDoc(nil), orig.Top...),
 		Accumulators: orig.Accumulators,
 		Smax:         orig.Smax,
+		Epoch:        orig.Epoch,
 		Cached:       true,
 	}
 	return cp
@@ -149,7 +155,7 @@ func cachedCopy(orig *eval.Result) *eval.Result {
 func (e *Engine) refineEvaluate(j *Job) (*eval.Result, error) {
 	us := j.us
 	cq := eval.CanonicalQuery(j.Query)
-	k := refineKey{user: j.User, key: eval.CanonicalKey(cq)}
+	k := refineKey{user: j.User, epoch: us.epoch, key: eval.CanonicalKey(cq)}
 
 	if ent, ok := e.refine.get(k); ok {
 		e.counters.RefineHits.Add(1)

@@ -263,6 +263,13 @@ type Result struct {
 	// original evaluation, the cost counters are zero (no I/O or
 	// scanning happened), and Trace is nil.
 	Cached bool
+	// Epoch identifies the index generation the evaluation ran
+	// against. The evaluator itself does not know about epochs — the
+	// serving layer (Session, Engine) stamps it after binding the query
+	// to one published index view, which is what lets callers check
+	// that an answer produced during a live merge came wholly from one
+	// generation. 0 for static indexes.
+	Epoch uint64
 	// Trace holds per-term detail in processing order.
 	Trace []TermTrace
 }

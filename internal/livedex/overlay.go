@@ -1,0 +1,194 @@
+package livedex
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"bufir/internal/postings"
+	"bufir/internal/storage"
+)
+
+// Overlay is the delta-overlay page store: a storage.PageStore over
+// the combined virtual page space of one committed epoch. Every page a
+// query reads through it is exactly the page postings.Build would have
+// written for the merged corpus:
+//
+//   - a page of an untouched term passes straight through to its main
+//     generation page (read quietly off the inner store, so the inner
+//     counters keep meaning "main generation reads");
+//   - a page of a touched term is synthesized on demand — the main
+//     pages covering its main-entry run are read quietly, sliced, and
+//     merged with the page's delta-entry run.
+//
+// Accounting follows the PageStore contract at the virtual level:
+// Reads() counts delivered combined pages — the paper's cost metric
+// over the combined layout — while MainReads() separately gauges the
+// physical main generation pages the synthesis touched (a merged page
+// whose run straddles k main pages costs k of them).
+//
+// An Overlay is immutable after construction and safe for any degree
+// of concurrency; later AddDoc/Commit calls on the State publish new
+// Overlays rather than mutating this one.
+type Overlay struct {
+	inner  storage.PageStore
+	mainIx *postings.Index
+	desc   []PageDesc
+	delta  [][]postings.Entry
+	// mainListFirst[t] caches Terms[t].FirstPage of the main
+	// generation for merged-page synthesis.
+	pageSize int
+
+	reads     atomic.Int64
+	mainReads atomic.Int64
+	// latencyNanos, when positive, makes every counted read sleep that
+	// long — the same wall-clock knob storage.Store offers, so live
+	// indexes participate in I/O-bound experiments identically.
+	latencyNanos atomic.Int64
+}
+
+var _ storage.PageStore = (*Overlay)(nil)
+
+// NewOverlay builds the overlay for one commit over the main
+// generation's physical store.
+func NewOverlay(c *Combined, mainIx *postings.Index, inner storage.PageStore) *Overlay {
+	return &Overlay{
+		inner:    inner,
+		mainIx:   mainIx,
+		desc:     c.Desc,
+		delta:    c.DeltaFrozen,
+		pageSize: mainIx.PageSize,
+	}
+}
+
+// NumPages returns the combined page count.
+func (o *Overlay) NumPages() int { return len(o.desc) }
+
+// Reads returns how many combined pages were delivered.
+func (o *Overlay) Reads() int64 { return o.reads.Load() }
+
+// ResetReads zeroes the delivered-page counter (MainReads included).
+func (o *Overlay) ResetReads() {
+	o.reads.Store(0)
+	o.mainReads.Store(0)
+}
+
+// MainReads returns how many physical main generation pages the
+// overlay has fetched to serve its deliveries.
+func (o *Overlay) MainReads() int64 { return o.mainReads.Load() }
+
+// Inner returns the main generation's physical store the overlay
+// synthesizes from.
+func (o *Overlay) Inner() storage.PageStore { return o.inner }
+
+// SetReadLatency makes every counted read of the overlay take d of
+// wall time (0 turns it off), mirroring storage.Store's simulated
+// disk-latency knob.
+func (o *Overlay) SetReadLatency(d time.Duration) { o.latencyNanos.Store(int64(d)) }
+
+// Read fetches a combined page, counting the delivery.
+func (o *Overlay) Read(id postings.PageID) ([]postings.Entry, error) {
+	return o.ReadContext(context.Background(), id)
+}
+
+// ReadContext is Read bounded by a context: an already-dead context
+// fails before any synthesis work, and the simulated latency sleep
+// aborts on cancellation. Only delivered pages move the counter.
+func (o *Overlay) ReadContext(ctx context.Context, id postings.PageID) ([]postings.Entry, error) {
+	if int(id) < 0 || int(id) >= len(o.desc) {
+		return nil, fmt.Errorf("livedex: page %d out of range [0,%d)", id, len(o.desc))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if d := o.latencyNanos.Load(); d > 0 {
+		if done := ctx.Done(); done != nil {
+			timer := time.NewTimer(time.Duration(d))
+			select {
+			case <-timer.C:
+			case <-done:
+				timer.Stop()
+				return nil, ctx.Err()
+			}
+		} else {
+			time.Sleep(time.Duration(d))
+		}
+	}
+	page, err := o.synthesize(id)
+	if err != nil {
+		return nil, err
+	}
+	o.reads.Add(1)
+	return page, nil
+}
+
+// ReadQuiet synthesizes a combined page without counters or simulated
+// latency (the offline paths: workload construction, merge
+// materialization, persistence).
+func (o *Overlay) ReadQuiet(id postings.PageID) ([]postings.Entry, error) {
+	if int(id) < 0 || int(id) >= len(o.desc) {
+		return nil, fmt.Errorf("livedex: page %d out of range [0,%d)", id, len(o.desc))
+	}
+	d := o.desc[id]
+	if !d.Merged {
+		return o.inner.ReadQuiet(d.Main)
+	}
+	return o.merge(d, func() {})
+}
+
+// synthesize produces the combined page, charging main reads.
+func (o *Overlay) synthesize(id postings.PageID) ([]postings.Entry, error) {
+	d := o.desc[id]
+	if !d.Merged {
+		page, err := o.inner.ReadQuiet(d.Main)
+		if err != nil {
+			return nil, err
+		}
+		o.mainReads.Add(1)
+		return page, nil
+	}
+	return o.merge(d, func() { o.mainReads.Add(1) })
+}
+
+// merge assembles a merged page from its main-entry and delta-entry
+// runs; onMainPage observes each physical main page fetched.
+func (o *Overlay) merge(d PageDesc, onMainPage func()) ([]postings.Entry, error) {
+	main := make([]postings.Entry, 0, d.MainHi-d.MainLo)
+	if d.MainHi > d.MainLo {
+		// A term new since the main generation has an empty main run and
+		// never reaches here, so the main-index lookup stays in range.
+		tm := &o.mainIx.Terms[d.Term]
+		pLo := int(d.MainLo) / o.pageSize
+		pHi := int(d.MainHi-1) / o.pageSize
+		for p := pLo; p <= pHi; p++ {
+			pg, err := o.inner.ReadQuiet(tm.FirstPage + postings.PageID(p))
+			if err != nil {
+				return nil, err
+			}
+			onMainPage()
+			lo := int(d.MainLo) - p*o.pageSize
+			if lo < 0 {
+				lo = 0
+			}
+			hi := int(d.MainHi) - p*o.pageSize
+			if hi > len(pg) {
+				hi = len(pg)
+			}
+			main = append(main, pg[lo:hi]...)
+		}
+	}
+	dl := o.delta[d.Term][d.DeltaLo:d.DeltaHi]
+	out := make([]postings.Entry, 0, len(main)+len(dl))
+	i, j := 0, 0
+	for i < len(main) || j < len(dl) {
+		if j >= len(dl) || (i < len(main) && entryLess(main[i], dl[j])) {
+			out = append(out, main[i])
+			i++
+		} else {
+			out = append(out, dl[j])
+			j++
+		}
+	}
+	return out, nil
+}

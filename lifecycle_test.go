@@ -161,7 +161,7 @@ func TestEngineRequestLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow := ix.store.(interface{ SetReadLatency(time.Duration) })
+	slow := ix.pageStore().(interface{ SetReadLatency(time.Duration) })
 	slow.SetReadLatency(500 * time.Microsecond)
 	defer slow.SetReadLatency(0)
 	var tickets []*Ticket

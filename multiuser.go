@@ -16,8 +16,15 @@ import (
 // active query. Under RAP a page is valued by the highest w_{q,t} its
 // term has in any active query, so users benefit from pages cached for
 // each other and one user's refinement cannot starve another's.
+//
+// A SharedSessionPool binds statically to the index view current at
+// construction and never rebinds: its sessions keep answering over
+// that generation even while a live index moves on (each Result's
+// Epoch says which). Use Engine for a serving surface that follows
+// live updates automatically.
 type SharedSessionPool struct {
 	ix   *Index
+	v    *idxView
 	pool *buffer.SharedPool
 
 	mu     sync.Mutex
@@ -32,11 +39,12 @@ func (ix *Index) NewSharedSessionPool(bufferPages int, policy Policy) (*SharedSe
 	if err != nil {
 		return nil, err
 	}
-	pool, err := buffer.NewSharedPool(rc.bufferPages, ix.store, ix.ix, rc.newPolicy(rc.bufferPages))
+	v := ix.view()
+	pool, err := buffer.NewSharedPool(rc.bufferPages, v.store, v.ix, rc.newPolicy(rc.bufferPages))
 	if err != nil {
 		return nil, err
 	}
-	return &SharedSessionPool{ix: ix, pool: pool}, nil
+	return &SharedSessionPool{ix: ix, v: v, pool: pool}, nil
 }
 
 // NewSession creates a session whose queries run against the shared
@@ -57,12 +65,12 @@ func (sp *SharedSessionPool) NewSession(cfg SessionConfig) (*SharedSession, erro
 	sp.nextID++
 	sp.mu.Unlock()
 	view := sp.pool.UserView(id)
-	ev, err := eval.NewEvaluator(sp.ix.ix, view, sp.ix.conv, params)
+	ev, err := eval.NewEvaluator(sp.v.ix, view, sp.v.conv, params)
 	if err != nil {
 		return nil, err
 	}
 	applyFaultOptions(sp.pool, cfg.Fault, nil)
-	return &SharedSession{ev: ev, view: view, algo: cfg.method()}, nil
+	return &SharedSession{ev: ev, view: view, algo: cfg.method(), epoch: sp.v.epoch}, nil
 }
 
 // BufferStats returns the shared pool's counters.
@@ -84,6 +92,7 @@ type SharedSession struct {
 	ev       *eval.Evaluator
 	view     *buffer.UserView
 	algo     Algorithm
+	epoch    uint64
 	counters metrics.ServingCounters
 }
 
@@ -110,6 +119,9 @@ func (s *SharedSession) SearchContext(ctx context.Context, user int, q Query) (*
 	_ = user // identity is fixed by the pool's registry view
 	start := time.Now()
 	res, err := s.ev.EvaluateContext(ctx, s.algo, q)
+	if res != nil {
+		res.Epoch = s.epoch
+	}
 	recordOutcome(&s.counters, res, err, time.Since(start))
 	return res, err
 }

@@ -11,7 +11,6 @@ import (
 
 	"bufir/internal/indexfile"
 	"bufir/internal/obs"
-	"bufir/internal/postings"
 	"bufir/internal/shard"
 	"bufir/internal/storage"
 )
@@ -222,22 +221,18 @@ func (ix *Index) Shard(n int) ([]*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	parts, err := shard.Split(ix.ix, pages, n)
+	parts, err := shard.Split(ix.meta(), pages, n)
 	if err != nil {
 		return nil, err
 	}
+	names := ix.view().docNames
 	out := make([]*Index, n)
 	for i, p := range parts {
-		out[i] = &Index{
-			ix:         p.Index,
-			store:      storage.NewStore(p.Pages),
-			conv:       postings.NewConversionTable(p.Index, postings.DefaultMaxKey),
-			pages:      p.Pages,
-			docNames:   ix.docNames,
-			stopWords:  ix.stopWords,
-			pipe:       ix.pipe,
-			positional: ix.positional,
-		}
+		s := newStaticIndex(p.Index, storage.NewStore(p.Pages), p.Pages, names)
+		s.stopWords = ix.stopWords
+		s.pipe = ix.pipe
+		s.positional = ix.positional
+		out[i] = s
 	}
 	return out, nil
 }
@@ -256,7 +251,7 @@ func (ix *Index) WriteShardFiles(dir string, n, blockSize int) error {
 	if err != nil {
 		return err
 	}
-	parts, err := shard.Split(ix.ix, pages, n)
+	parts, err := shard.Split(ix.meta(), pages, n)
 	if err != nil {
 		return err
 	}
@@ -354,6 +349,56 @@ func (s *Service) RefineContext(ctx context.Context, user int, q Query) (*Result
 // Search is an exact alias of SearchContext with context.Background().
 func (s *Service) Search(user int, q Query) (*Result, error) {
 	return s.searcher.SearchContext(context.Background(), user, q)
+}
+
+// EnableLiveUpdates turns every partition index mutable (see
+// Index.EnableLiveUpdates), after which IngestContext accepts
+// documents. For a sharded deployment each partition ingests, commits
+// and merges independently; opts applies to every partition
+// (LiveOptions.Dir, when set, receives every shard's generation files
+// — their names embed per-shard epochs and do not collide while
+// epochs differ, so prefer per-shard directories or in-memory
+// generations for sharded deployments).
+func (s *Service) EnableLiveUpdates(opts LiveOptions) error {
+	var errs []error
+	for i, ix := range s.indexes {
+		if err := ix.EnableLiveUpdates(opts); err != nil {
+			errs = append(errs, fmt.Errorf("bufir: enabling live updates on shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// IngestContext adds one document to the deployment: routed to its
+// owning shard by name hash when sharded, straight to the single
+// engine otherwise. Requires EnableLiveUpdates first.
+func (s *Service) IngestContext(ctx context.Context, doc Document) (DocID, error) {
+	if s.router != nil {
+		return s.router.IngestContext(ctx, doc)
+	}
+	return s.engines[0].IngestContext(ctx, doc)
+}
+
+// MergeContext merges every partition's pending delta (see
+// Ingester.MergeContext). MergeAll is the background-free way to end
+// a merge storm deterministically in tests and benchmarks.
+func (s *Service) MergeContext(ctx context.Context) error {
+	if s.router != nil {
+		return s.router.MergeContext(ctx)
+	}
+	return s.engines[0].MergeContext(ctx)
+}
+
+// MergeAll is MergeContext with a background context.
+func (s *Service) MergeAll() error { return s.MergeContext(context.Background()) }
+
+// Epoch reports the deployment's generation number (the maximum
+// across partitions when sharded; partitions drift independently).
+func (s *Service) Epoch() uint64 {
+	if s.router != nil {
+		return s.router.Epoch()
+	}
+	return s.engines[0].Epoch()
 }
 
 // Stats returns the deployment's serving counters: the router's for a

@@ -292,9 +292,9 @@ func TestSearchIDFEdgeZeroDF(t *testing.T) {
 	if !ok {
 		t.Fatal("ghost not indexed")
 	}
-	ix.ix.Terms[ghostID].DF = 0
-	ix.ix.Terms[ghostID].IDF = rank.IDF(ix.NumDocs(), 0)
-	if got := ix.ix.Terms[ghostID].IDF; got != 0 {
+	ix.meta().Terms[ghostID].DF = 0
+	ix.meta().Terms[ghostID].IDF = rank.IDF(ix.NumDocs(), 0)
+	if got := ix.meta().Terms[ghostID].IDF; got != 0 {
 		t.Fatalf("guarded idf(N, 0) = %v, want 0", got)
 	}
 

@@ -49,8 +49,13 @@ type Refinement struct {
 	current Query
 	// snap is the carried evaluation snapshot (incremental mode only);
 	// nil until the first completed DF submission, and dropped on
-	// invalidation.
-	snap *eval.Snapshot
+	// invalidation. snapV is the index view the snapshot was computed
+	// against: a live commit or merge swap publishes a new view, and a
+	// snapshot of the old generation's statistics must never seed an
+	// evaluation over the new one (the step runs cold instead, recorded
+	// as Invalidated).
+	snap  *eval.Snapshot
+	snapV *idxView
 	// History records every successful submission's outcome.
 	History []RefinementStep
 }
@@ -185,14 +190,22 @@ func (r *Refinement) resubmit(ctx context.Context, q Query) (*Result, error) {
 	}
 
 	// Incremental path: resume from the carried snapshot when the step
-	// is ADD-ONLY, invalidate it otherwise.
+	// is ADD-ONLY, invalidate it otherwise — or when the index moved to
+	// a new generation since the snapshot was taken (rebind first, so
+	// the step evaluates against the current view).
+	if err := r.session.rebind(); err != nil {
+		return nil, err
+	}
 	prev := r.snap
 	invalidated := false
-	if prev != nil && !eval.AddOnlyStep(r.current, q) {
+	if prev != nil && (r.snapV != r.session.v || !eval.AddOnlyStep(r.current, q)) {
 		prev = nil
 		invalidated = true
 	}
 	res, snap, err := r.session.ev.EvaluateResumeContext(ctx, r.session.algo, q, prev)
+	if res != nil {
+		res.Epoch = r.session.v.epoch
+	}
 	if err != nil {
 		return res, err
 	}
@@ -200,7 +213,7 @@ func (r *Refinement) resubmit(ctx context.Context, q Query) (*Result, error) {
 		r.snap = nil
 	}
 	if snap != nil {
-		r.snap = snap
+		r.snap, r.snapV = snap, r.session.v
 	}
 	r.commit(q, res, RefinementStep{
 		Resumed:      res.ReusedRounds > 0,
